@@ -1,0 +1,1 @@
+bin/lightweb_cli.mli:

@@ -1,0 +1,1 @@
+bin/site_loader.ml: Array Filename Lightweb List Lw_json Printf String Sys

@@ -1,0 +1,66 @@
+(* Load publisher sites from a directory tree:
+
+     <root>/<domain>/code.ls          Lightscript for the code blob
+     <root>/<domain>/pages/**/*.json  data blobs; the path under pages/
+                                      becomes the page suffix
+
+   Used by the CLI's `serve` command so a universe can be assembled from
+   plain files. *)
+
+module Json = Lw_json.Json
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let rec walk dir =
+  (* all regular files under [dir], relative paths *)
+  Sys.readdir dir |> Array.to_list
+  |> List.concat_map (fun entry ->
+         let full = Filename.concat dir entry in
+         if Sys.is_directory full then List.map (fun p -> Filename.concat entry p) (walk full)
+         else [ entry ])
+  |> List.sort String.compare
+
+let load_site ~root domain =
+  let dir = Filename.concat root domain in
+  let code_path = Filename.concat dir "code.ls" in
+  if not (Sys.file_exists code_path) then Error (Printf.sprintf "%s: missing code.ls" domain)
+  else begin
+    let code = read_file code_path in
+    let pages_dir = Filename.concat dir "pages" in
+    let pages =
+      if not (Sys.file_exists pages_dir) then []
+      else
+        List.filter_map
+          (fun rel ->
+            let full = Filename.concat pages_dir rel in
+            match Json.of_string_opt (read_file full) with
+            | Some v -> Some ("/" ^ rel, v)
+            | None ->
+                Printf.eprintf "warning: %s is not valid JSON, skipped\n%!" full;
+                None)
+          (walk pages_dir)
+    in
+    Ok { Lightweb.Publisher.domain; code; pages }
+  end
+
+let load_all root =
+  if not (Sys.file_exists root && Sys.is_directory root) then
+    Error (Printf.sprintf "%s is not a directory" root)
+  else begin
+    let domains =
+      Sys.readdir root |> Array.to_list
+      |> List.filter (fun d -> Sys.is_directory (Filename.concat root d))
+      |> List.sort String.compare
+    in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | d :: rest -> (
+          match load_site ~root d with Ok s -> go (s :: acc) rest | Error e -> Error e)
+    in
+    go [] domains
+  end

@@ -1,0 +1,1 @@
+examples/enclave_mode.ml: Lightweb List Lw_crypto Lw_json Lw_net Lw_util Printf String Universe Zltp_client Zltp_mode Zltp_server

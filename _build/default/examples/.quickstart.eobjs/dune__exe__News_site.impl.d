@@ -1,0 +1,1 @@
+examples/news_site.ml: Browser Lightweb List Lw_json Printf Publisher Result Universe Zltp_client Zltp_server

@@ -1,0 +1,1 @@
+examples/paywall.ml: Access_control Browser Lightweb Lw_json Printf Publisher Result Universe Zltp_client Zltp_server

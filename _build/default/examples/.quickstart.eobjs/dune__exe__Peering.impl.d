@@ -1,0 +1,1 @@
+examples/peering.ml: Browser Lightweb List Lw_json Peering Printf Publisher Result String Universe Zltp_client Zltp_server

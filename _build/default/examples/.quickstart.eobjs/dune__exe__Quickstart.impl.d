@@ -1,0 +1,1 @@
+examples/quickstart.ml: Browser Lightweb List Lw_json Printf Publisher String Universe Zltp_client Zltp_server

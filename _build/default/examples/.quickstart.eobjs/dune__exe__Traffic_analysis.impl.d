@@ -1,0 +1,1 @@
+examples/traffic_analysis.ml: Fingerprint List Lw_sim Lw_util Printf String

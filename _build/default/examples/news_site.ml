@@ -1,0 +1,138 @@
+(* A multi-section news site plus the weather.com personalisation story
+   from §3.3: the postal code lives in the browser's per-domain local
+   storage and selects which per-zip blob the code fetches — the server
+   still cannot tell which zip (or page) anyone reads.
+
+   Run with: dune exec examples/news_site.exe *)
+
+module Json = Lw_json.Json
+open Lightweb
+
+let news_code =
+  {|
+  fn plan(path, state) {
+    if (path == "" || path == "/") {
+      return ["news.example/sections/front.json"];
+    }
+    let parts = split(path, "/");
+    if (len(parts) == 2) {
+      return ["news.example/sections/" + parts[1] + ".json"];
+    }
+    return ["news.example/sections/" + parts[1] + ".json",
+            "news.example/articles/" + parts[2] + ".json"];
+  }
+
+  fn render(path, state, data) {
+    if (data[0] == null) { return "404"; }
+    let out = "### " + get(data[0], "title", "untitled") + " ###";
+    for (headline in get(data[0], "headlines", [])) {
+      out = out + "\n - " + headline;
+    }
+    if (len(data) > 1 && data[1] != null) {
+      out = out + "\n\n" + get(data[1], "body", "");
+      store("last_read", get(data[1], "id", ""));
+    }
+    return out;
+  }
+|}
+
+let weather_code =
+  {|
+  fn plan(path, state) {
+    let zip = get(state, "zip", "none");
+    if (zip == "none") { return []; }
+    return ["weather.example/by-zip/" + zip + ".json"];
+  }
+  fn render(path, state, data) {
+    if (len(data) == 0 || data[0] == null) {
+      return "Set your postal code to get a forecast.";
+    }
+    return "Forecast for " + get(data[0], "zip", "?") + ": " + get(data[0], "forecast", "?");
+  }
+|}
+
+let news_site =
+  {
+    Publisher.domain = "news.example";
+    code = news_code;
+    pages =
+      [
+        ( "/sections/front.json",
+          Json.Obj
+            [
+              ("title", Json.String "Front Page");
+              ( "headlines",
+                Json.List
+                  [
+                    Json.String "Lightweb ships in OCaml";
+                    Json.String "PIR costs drop again";
+                  ] );
+            ] );
+        ( "/sections/world.json",
+          Json.Obj
+            [
+              ("title", Json.String "World");
+              ("headlines", Json.List [ Json.String "Uganda story inside" ]);
+            ] );
+        ( "/articles/uganda.json",
+          Json.Obj
+            [
+              ("id", Json.String "uganda");
+              ("body", Json.String "Dateline Kampala: a long-form story nobody can see you read.");
+            ] );
+      ];
+  }
+
+let weather_site =
+  {
+    Publisher.domain = "weather.example";
+    code = weather_code;
+    pages =
+      [
+        ( "/by-zip/94704.json",
+          Json.Obj [ ("zip", Json.String "94704"); ("forecast", Json.String "fog, then sun") ] );
+        ( "/by-zip/02139.json",
+          Json.Obj [ ("zip", Json.String "02139"); ("forecast", Json.String "snow flurries") ] );
+      ];
+  }
+
+let () =
+  let universe = Universe.create ~name:"newsstand" Universe.default_geometry in
+  List.iter
+    (fun site ->
+      match Publisher.push universe ~publisher:("pub:" ^ site.Publisher.domain) site with
+      | Ok r -> Printf.printf "pushed %s: %d data blobs\n" site.Publisher.domain r.Publisher.data_pushed
+      | Error e -> failwith e)
+    [ news_site; weather_site ];
+
+  let connect (s0, s1) =
+    Result.get_ok (Zltp_client.connect [ Zltp_server.endpoint s0; Zltp_server.endpoint s1 ])
+  in
+  let browser =
+    Browser.create
+      ~code:(connect (Universe.code_servers universe))
+      ~data:(connect (Universe.data_servers universe))
+      ()
+  in
+  let show path =
+    match Browser.browse browser path with
+    | Ok page -> Printf.printf "\n--- %s ---\n%s\n" path page.Browser.text
+    | Error e -> Printf.printf "\n--- %s ---\nerror: %s\n" path e
+  in
+
+  show "news.example/";
+  show "news.example/world";
+  show "news.example/world/uganda";
+  (* the article script stored reading state locally (never at the CDN) *)
+  (match Browser.storage_get browser ~domain:"news.example" "last_read" with
+  | Some v -> Printf.printf "\n[local storage] news.example last_read = %s\n" (Json.to_string v)
+  | None -> ());
+
+  show "weather.example/";
+  Printf.printf "\n[user types their postal code into the weather page]\n";
+  Browser.storage_set browser ~domain:"weather.example" "zip" (Json.String "94704");
+  show "weather.example/";
+
+  Printf.printf "\npages visited: %d; network events: %d (every page = same fixed shape)\n"
+    (Browser.pages_visited browser)
+    (List.length (Browser.events browser))

@@ -1,0 +1,102 @@
+(* Multiple universes and peering (§3.5): two CDNs carry small/medium/
+   large universes, peer with each other, and share a domain registry so
+   every domain has one owner everywhere. A user of either CDN can read
+   content published through the other.
+
+   Run with: dune exec examples/peering.exe *)
+
+module Json = Lw_json.Json
+open Lightweb
+
+let code domain =
+  Printf.sprintf
+    {|fn plan(path, state) { return ["%s/front.json"]; }
+      fn render(path, state, data) {
+        if (data[0] == null) { return "404"; }
+        return get(data[0], "body", "?");
+      }|}
+    domain
+
+let site domain body =
+  {
+    Publisher.domain;
+    code = code domain;
+    pages = [ ("/front.json", Json.Obj [ ("body", Json.String body) ]) ];
+  }
+
+let browse_from cdn cls path =
+  match Peering.universe cdn cls with
+  | None -> Printf.printf "  %s does not carry a %s universe\n" (Peering.cdn_name cdn) (Peering.class_name cls)
+  | Some u -> (
+      let connect (s0, s1) =
+        Result.get_ok (Zltp_client.connect [ Zltp_server.endpoint s0; Zltp_server.endpoint s1 ])
+      in
+      let b =
+        Browser.create
+          ~fetches_per_page:(Universe.geometry u).Universe.fetches_per_page
+          ~code:(connect (Universe.code_servers u))
+          ~data:(connect (Universe.data_servers u))
+          ()
+      in
+      match Browser.browse b path with
+      | Ok page ->
+          Printf.printf "  via %s (%s universe): %s\n" (Peering.cdn_name cdn)
+            (Peering.class_name cls) page.Browser.text
+      | Error e -> Printf.printf "  via %s: error %s\n" (Peering.cdn_name cdn) e)
+
+let () =
+  let registry = Peering.registry () in
+  let akamai = Peering.create_cdn ~name:"akamai" registry in
+  let fastly = Peering.create_cdn ~name:"fastly" registry in
+  Peering.peer akamai fastly;
+  Printf.printf "CDNs: akamai (peers: %s), fastly (peers: %s)\n"
+    (String.concat "," (Peering.peers akamai))
+    (String.concat "," (Peering.peers fastly));
+
+  (* publish through akamai; peering pushes to fastly too *)
+  (match
+     Peering.publish akamai ~publisher:"wiki-inc" Peering.Medium
+       (site "wiki.example" "An encyclopedia article, readable from either CDN.")
+   with
+  | Ok n -> Printf.printf "\nwiki.example published to %d universes\n" n
+  | Error e -> failwith e);
+
+  Printf.printf "\nreading wiki.example/front from both CDNs:\n";
+  browse_from akamai Peering.Medium "wiki.example/front";
+  browse_from fastly Peering.Medium "wiki.example/front";
+
+  (* domain ownership is global: a squatter is refused on the peer too *)
+  Printf.printf "\nmallory tries to claim wiki.example on fastly:\n";
+  (match
+     Peering.publish fastly ~publisher:"mallory" Peering.Medium (site "wiki.example" "squatted!")
+   with
+  | Ok _ -> Printf.printf "  !!! registry failed\n"
+  | Error e -> Printf.printf "  refused: %s\n" e);
+
+  (* size classes trade cost for capacity; the attacker learns only which
+     class a user fetches from *)
+  Printf.printf "\nsize classes on akamai:\n";
+  List.iter
+    (fun cls ->
+      match Peering.universe akamai cls with
+      | Some u ->
+          let g = Universe.geometry u in
+          Printf.printf "  %-6s data blob %5d B, code blob %6d B\n" (Peering.class_name cls)
+            g.Universe.data_blob_size g.Universe.code_blob_size
+      | None -> ())
+    [ Peering.Small; Peering.Medium; Peering.Large ];
+
+  (* a big page only fits the large universe *)
+  let big_body = String.make 2000 'x' in
+  Printf.printf "\npublishing a 2000-byte page:\n";
+  List.iter
+    (fun cls ->
+      match
+        Peering.publish akamai ~publisher:"big-inc" cls
+          (site "big.example" big_body)
+      with
+      | Ok n -> Printf.printf "  %-6s: ok (%d universes)\n" (Peering.class_name cls) n
+      | Error e ->
+          Printf.printf "  %-6s: %s\n" (Peering.class_name cls)
+            (if String.length e > 60 then String.sub e 0 60 ^ "..." else e))
+    [ Peering.Small; Peering.Large ]

@@ -1,0 +1,71 @@
+(* Quickstart: publish a tiny site into a lightweb universe, then browse it
+   privately. Neither logical ZLTP server ever sees which page we read.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Json = Lw_json.Json
+open Lightweb
+
+let code =
+  {|
+  fn plan(path, state) {
+    if (path == "" || path == "/") { return ["hello.example/front.json"]; }
+    return ["hello.example" + path + ".json"];
+  }
+  fn render(path, state, data) {
+    if (data[0] == null) { return "404 not found"; }
+    return get(data[0], "body", "(empty)");
+  }
+|}
+
+let () =
+  (* 1. A CDN creates a universe: fixed blob sizes, fixed fetches/page. *)
+  let universe = Universe.create ~name:"quickstart" Universe.default_geometry in
+
+  (* 2. A publisher pushes one code blob + data blobs. *)
+  let site =
+    {
+      Publisher.domain = "hello.example";
+      code;
+      pages =
+        [
+          ("/front.json", Json.Obj [ ("body", Json.String "Welcome to lightweb!") ]);
+          ("/about.json", Json.Obj [ ("body", Json.String "Private browsing, no baggage.") ]);
+        ];
+    }
+  in
+  (match Publisher.push universe ~publisher:"hello-inc" site with
+  | Ok r -> Printf.printf "published: code=%b data_blobs=%d\n" r.Publisher.code_pushed r.Publisher.data_pushed
+  | Error e -> failwith e);
+
+  (* 3. The client opens ZLTP sessions to the two non-colluding logical
+        servers (code session + data session) and browses. *)
+  let connect (s0, s1) =
+    match Zltp_client.connect [ Zltp_server.endpoint s0; Zltp_server.endpoint s1 ] with
+    | Ok c -> c
+    | Error e -> failwith e
+  in
+  let browser =
+    Browser.create
+      ~code:(connect (Universe.code_servers universe))
+      ~data:(connect (Universe.data_servers universe))
+      ()
+  in
+  List.iter
+    (fun path ->
+      match Browser.browse browser path with
+      | Ok page ->
+          Printf.printf "\n=== %s ===\n%s\n(code cache %s; %d planned fetches, %d on the wire)\n"
+            path page.Browser.text
+            (if page.Browser.code_cache_hit then "hit" else "miss")
+            page.Browser.planned page.Browser.fetched
+      | Error e -> Printf.printf "error browsing %s: %s\n" path e)
+    [ "hello.example/"; "hello.example/about"; "hello.example/missing" ];
+
+  (* 4. What did the network see? Only fixed-shape events. *)
+  Printf.printf "\nnetwork view (%d events): %s\n"
+    (List.length (Browser.events browser))
+    (String.concat " "
+       (List.map
+          (function Browser.Code_fetch -> "CODE" | Browser.Data_fetch -> "data")
+          (Browser.events browser)))

@@ -1,0 +1,62 @@
+(* The paper's motivation (§1): encrypted tunnels do not stop website
+   fingerprinting. We train the multinomial naive-Bayes classifier of
+   Herrmann et al. on transfer-size traces and attack (a) a traditional
+   web whose sites have characteristic shapes, and (b) lightweb, where
+   every page view is the same fixed-size exchange sequence.
+
+   Run with: dune exec examples/traffic_analysis.exe *)
+
+open Lw_sim
+
+let det = Lw_util.Det_rng.of_string_seed
+
+let labelled ~sites ~per_site ~seed ~traditional =
+  let rng = det seed in
+  List.concat_map
+    (fun site ->
+      List.init per_site (fun i ->
+          let trace =
+            if traditional then Fingerprint.traditional_trace ~sites ~site rng
+            else Fingerprint.lightweb_trace ~code_fetch:(i = 0) rng
+          in
+          (site, trace)))
+    (List.init sites (fun s -> s))
+
+let run_attack ~name ~traditional ~sites =
+  let train = labelled ~sites ~per_site:40 ~seed:(name ^ "/train") ~traditional in
+  let test = labelled ~sites ~per_site:15 ~seed:(name ^ "/test") ~traditional in
+  let model = Fingerprint.train ~classes:sites train in
+  let acc = Fingerprint.accuracy model test in
+  Printf.printf "%-16s  sites=%-3d  train=%-4d test=%-4d  accuracy=%5.1f%%  (chance %.1f%%)\n"
+    name sites (List.length train) (List.length test) (100. *. acc)
+    (100. *. Fingerprint.chance ~classes:sites);
+  acc
+
+let () =
+  Printf.printf "Website-fingerprinting attack: multinomial naive Bayes on transfer sizes\n\n";
+  let sizes = [ 5; 15; 40 ] in
+  Printf.printf "-- traditional web (per-site traffic signatures) --\n";
+  let trad = List.map (fun sites -> run_attack ~name:"traditional" ~traditional:true ~sites) sizes in
+  Printf.printf "\n-- lightweb (fixed-size, fixed-count exchanges) --\n";
+  let lw = List.map (fun sites -> run_attack ~name:"lightweb" ~traditional:false ~sites) sizes in
+  Printf.printf "\nSummary: the same classifier that identifies %d%% of traditional page\n"
+    (int_of_float (100. *. List.nth trad 1));
+  Printf.printf "loads is reduced to coin-flipping (%.0f%% over 15 sites) against lightweb:\n"
+    (100. *. List.nth lw 1);
+  Printf.printf "with one fixed shape per page view there is simply nothing to learn.\n";
+
+  (* and show the raw material: two real traces *)
+  let rng = det "demo" in
+  Printf.printf "\nexample traditional traces (object sizes in bytes):\n";
+  List.iter
+    (fun site ->
+      let t = Fingerprint.traditional_trace ~sites:5 ~site rng in
+      Printf.printf "  site %d: %d objects %s...\n" site (List.length t)
+        (String.concat "," (List.map string_of_int (List.filteri (fun i _ -> i < 6) t))))
+    [ 0; 1; 2 ];
+  Printf.printf "example lightweb traces:\n";
+  List.iter
+    (fun (label, cold) ->
+      let t = Fingerprint.lightweb_trace ~code_fetch:cold rng in
+      Printf.printf "  %s: %s\n" label (String.concat "," (List.map string_of_int t)))
+    [ ("any page, cold cache", true); ("any page, warm cache", false) ]

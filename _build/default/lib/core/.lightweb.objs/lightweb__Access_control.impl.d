@@ -1,0 +1,1 @@
+lib/core/access_control.ml: Float List Lw_crypto Lw_json Lw_util Printf String

@@ -1,0 +1,1 @@
+lib/core/blob.ml: Bytes Int32 Printf String

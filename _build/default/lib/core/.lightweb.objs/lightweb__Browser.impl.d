@@ -1,0 +1,1 @@
+lib/core/browser.ml: Access_control Format Hashtbl Lightscript List Lw_crypto Lw_json Lw_path Lw_util Printf Result Zltp_client

@@ -1,0 +1,1 @@
+lib/core/browser.mli: Access_control Lw_crypto Lw_json Zltp_client

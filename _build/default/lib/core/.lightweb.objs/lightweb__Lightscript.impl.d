@@ -1,0 +1,1 @@
+lib/core/lightscript.ml: Array Buffer Float Format Hashtbl List Lw_json Printf String

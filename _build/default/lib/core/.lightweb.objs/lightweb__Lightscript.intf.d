@@ -1,0 +1,1 @@
+lib/core/lightscript.mli: Format Lw_json

@@ -1,0 +1,1 @@
+lib/core/lw_path.mli: Format

@@ -1,0 +1,1 @@
+lib/core/pacer.ml: Array Float List Queue

@@ -1,0 +1,1 @@
+lib/core/paginate.ml: Array Buffer Hashtbl List Lw_json Printf String

@@ -1,0 +1,1 @@
+lib/core/paginate.mli: Lw_json

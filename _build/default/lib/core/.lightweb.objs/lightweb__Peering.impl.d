@@ -1,0 +1,1 @@
+lib/core/peering.ml: Hashtbl List Lw_path Printf Publisher String Universe

@@ -1,0 +1,1 @@
+lib/core/peering.mli: Publisher Universe

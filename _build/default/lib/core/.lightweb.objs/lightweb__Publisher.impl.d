@@ -1,0 +1,1 @@
+lib/core/publisher.ml: Format Hashtbl Lightscript List Lw_json Lw_path Printf String Universe

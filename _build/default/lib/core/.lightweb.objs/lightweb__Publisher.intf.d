@@ -1,0 +1,1 @@
+lib/core/publisher.mli: Lw_json Universe

@@ -1,0 +1,1 @@
+lib/core/query_stats.ml: Array Int64 Lw_crypto Printf String

@@ -1,0 +1,1 @@
+lib/core/universe.ml: Format Hashtbl Lightscript List Lw_crypto Lw_json Lw_oram Lw_path Lw_pir Printf String Zltp_frontend Zltp_server

@@ -1,0 +1,1 @@
+lib/core/universe_store.ml: Float List Lw_json Lw_path Option Printf Result Universe

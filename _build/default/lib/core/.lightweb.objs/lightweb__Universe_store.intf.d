@@ -1,0 +1,1 @@
+lib/core/universe_store.mli: Lw_json Universe

@@ -1,0 +1,1 @@
+lib/core/zltp_batch.ml: Array List Lw_dpf Lw_pir Unix

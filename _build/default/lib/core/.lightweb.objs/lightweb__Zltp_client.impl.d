@@ -1,0 +1,1 @@
+lib/core/zltp_client.ml: List Lw_crypto Lw_dpf Lw_net Lw_pir Option Printf String Zltp_mode Zltp_wire

@@ -1,0 +1,1 @@
+lib/core/zltp_client.mli: Lw_crypto Lw_net Zltp_mode

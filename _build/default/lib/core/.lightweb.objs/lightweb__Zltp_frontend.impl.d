@@ -1,0 +1,1 @@
+lib/core/zltp_frontend.ml: Array Atomic Bytes Domain List Lw_dpf Lw_pir Lw_util Unix

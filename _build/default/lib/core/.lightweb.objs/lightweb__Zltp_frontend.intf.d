@@ -1,0 +1,1 @@
+lib/core/zltp_frontend.mli: Lw_dpf Lw_pir

@@ -1,0 +1,1 @@
+lib/core/zltp_mode.ml: List

@@ -1,0 +1,1 @@
+lib/core/zltp_server.ml: List Logs Lw_crypto Lw_dpf Lw_net Lw_oram Lw_pir Option Printf String Zltp_frontend Zltp_mode Zltp_wire

@@ -1,0 +1,1 @@
+lib/core/zltp_server.mli: Lw_net Lw_oram Lw_pir Zltp_frontend Zltp_mode Zltp_wire

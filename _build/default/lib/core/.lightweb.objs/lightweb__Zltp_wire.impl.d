@@ -1,0 +1,1 @@
+lib/core/zltp_wire.ml: Buffer Char Int32 List Printf String Zltp_mode

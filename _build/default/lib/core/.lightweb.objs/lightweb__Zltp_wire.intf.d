@@ -1,0 +1,1 @@
+lib/core/zltp_wire.mli: Zltp_mode

@@ -1,0 +1,65 @@
+module Json = Lw_json.Json
+
+type master = { secret : string }
+
+let master ~seed = { secret = Lw_crypto.Sha256.digest ("lw-paywall-master/" ^ seed) }
+
+let epoch_key m ~epoch =
+  if epoch < 0 then invalid_arg "Access_control.epoch_key: negative epoch";
+  (* independent per-epoch keys: one-way in the master, not chained *)
+  Lw_crypto.Hmac.hkdf ~info:(Printf.sprintf "epoch/%d" epoch) ~len:32 m.secret
+
+type subscription = { mutable epoch : int; mutable key : string }
+
+let subscribe m ~epoch = { epoch; key = epoch_key m ~epoch }
+
+let renew m ~epoch sub =
+  sub.epoch <- epoch;
+  sub.key <- epoch_key m ~epoch
+
+let nonce_for ~epoch ~path =
+  String.sub (Lw_crypto.Sha256.digest (Printf.sprintf "nonce/%d/%s" epoch path)) 0 12
+
+let seal m ~epoch ~path value =
+  let key = epoch_key m ~epoch in
+  let nonce = nonce_for ~epoch ~path in
+  let ct = Lw_crypto.Aead.seal ~key ~nonce ~aad:path (Json.to_string value) in
+  Json.Obj
+    [
+      ("_sealed", Json.Number 1.);
+      ("epoch", Json.Number (float_of_int epoch));
+      ("ct", Json.String (Lw_util.Hex.encode ct));
+    ]
+
+let is_sealed v =
+  match v with Json.Obj fields -> List.mem_assoc "_sealed" fields | _ -> false
+
+let sealed_epoch v =
+  if not (is_sealed v) then None
+  else
+    match Json.member_opt "epoch" v with
+    | Some (Json.Number f) when Float.is_integer f -> Some (int_of_float f)
+    | Some _ | None -> None
+
+let open_ sub ~path v =
+  if not (is_sealed v) then Error "not a sealed blob"
+  else begin
+    match (sealed_epoch v, Json.member_opt "ct" v) with
+    | Some epoch, Some (Json.String hex) -> (
+        if epoch <> sub.epoch then
+          Error
+            (Printf.sprintf "content is sealed for epoch %d but subscription key is epoch %d"
+               epoch sub.epoch)
+        else
+          match Lw_util.Hex.decode_opt hex with
+          | None -> Error "corrupt ciphertext encoding"
+          | Some ct -> (
+              let nonce = nonce_for ~epoch ~path in
+              match Lw_crypto.Aead.open_ ~key:sub.key ~nonce ~aad:path ct with
+              | None -> Error "decryption failed (wrong key or tampered content)"
+              | Some pt -> (
+                  match Json.of_string_opt pt with
+                  | Some v -> Ok v
+                  | None -> Error "sealed payload is not JSON")))
+    | _ -> Error "malformed sealed blob"
+  end

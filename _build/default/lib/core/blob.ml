@@ -1,0 +1,22 @@
+let overhead = 4
+let max_content ~size = size - overhead
+
+let pad ~size content =
+  let n = String.length content in
+  if size < overhead then Error "blob size too small for framing"
+  else if n > max_content ~size then
+    Error (Printf.sprintf "content of %d bytes exceeds blob capacity %d" n (max_content ~size))
+  else begin
+    let b = Bytes.make size '\x00' in
+    Bytes.set_int32_be b 0 (Int32.of_int n);
+    Bytes.blit_string content 0 b overhead n;
+    Ok (Bytes.unsafe_to_string b)
+  end
+
+let unpad blob =
+  let total = String.length blob in
+  if total < overhead then None
+  else begin
+    let n = Int32.to_int (String.get_int32_be blob 0) in
+    if n < 0 || n > total - overhead then None else Some (String.sub blob overhead n)
+  end

@@ -1,0 +1,15 @@
+(** Fixed-size blob framing (§3.1): "all code blobs in the universe must
+    have a single fixed size... and all data blobs... as well". Content is
+    length-prefixed and zero-padded so the stored object is always exactly
+    the universe's blob size; padding is stripped on read. *)
+
+val overhead : int
+(** 4 bytes of length framing. *)
+
+val pad : size:int -> string -> (string, string) result
+(** [pad ~size content] frames and pads to exactly [size] bytes. *)
+
+val unpad : string -> string option
+(** Inverse of {!pad}; [None] on corrupt framing. *)
+
+val max_content : size:int -> int

@@ -1,0 +1,63 @@
+type action = Real of string | Dummy
+
+type slot = { time_s : float; action : action }
+
+let pace ~slot_s ~horizon_s visits =
+  if slot_s <= 0. || horizon_s <= 0. then invalid_arg "Pacer.pace: slot and horizon must be positive";
+  let queue = Queue.create () in
+  let pending = ref (List.sort (fun (a, _) (b, _) -> compare a b) visits) in
+  let n_slots = int_of_float (Float.ceil (horizon_s /. slot_s)) in
+  List.init n_slots (fun i ->
+      let time_s = float_of_int i *. slot_s in
+      (* admit every request that has arrived by this slot *)
+      let rec admit () =
+        match !pending with
+        | (t, page) :: rest when t <= time_s ->
+            Queue.push (t, page) queue;
+            pending := rest;
+            admit ()
+        | _ -> ()
+      in
+      admit ();
+      let action =
+        if Queue.is_empty queue then Dummy
+        else begin
+          let _, page = Queue.pop queue in
+          Real page
+        end
+      in
+      { time_s; action })
+
+type stats = {
+  slots : int;
+  real : int;
+  dummies : int;
+  max_delay_s : float;
+  mean_delay_s : float;
+  overhead : float;
+}
+
+let stats ~slot_s visits schedule =
+  ignore slot_s;
+  (* recover per-request delays by replaying the FIFO order *)
+  let arrivals =
+    List.sort compare (List.map fst visits) |> Array.of_list
+  in
+  let real_times =
+    List.filter_map (fun s -> match s.action with Real _ -> Some s.time_s | Dummy -> None) schedule
+    |> Array.of_list
+  in
+  let served = min (Array.length arrivals) (Array.length real_times) in
+  let delays = Array.init served (fun i -> real_times.(i) -. arrivals.(i)) in
+  let real = Array.length real_times in
+  let dummies = List.length schedule - real in
+  {
+    slots = List.length schedule;
+    real;
+    dummies;
+    max_delay_s = (if served = 0 then 0. else Array.fold_left Float.max 0. delays);
+    mean_delay_s =
+      (if served = 0 then 0.
+       else Array.fold_left ( +. ) 0. delays /. float_of_int served);
+    overhead = float_of_int dummies /. float_of_int (max 1 real);
+  }

@@ -1,0 +1,35 @@
+(** Constant-rate cover traffic — closing the paper's residual leak.
+
+    ZLTP hides {e which} pages a client fetches but not {e when} or
+    {e how many} (§2.1 non-goals, §3.2 leakage list). A pacer removes that
+    channel too: the client emits exactly one page-shaped fetch burst per
+    time slot, serving a queued real page view if one is waiting and a
+    dummy otherwise. The resulting request stream is a deterministic
+    function of the clock alone, so an on-path attacker learns literally
+    nothing — at the price of bounded extra latency and a fixed dummy
+    budget, which {!simulate} quantifies (bench ablation E11b). *)
+
+type action = Real of string | Dummy
+
+type slot = { time_s : float; action : action }
+
+val pace : slot_s:float -> horizon_s:float -> (float * string) list -> slot list
+(** [pace ~slot_s ~horizon_s visits] turns timestamped page requests into
+    the slotted schedule over [[0, horizon_s)]. Requests are served FIFO at
+    the first slot at-or-after their arrival; slots with an empty queue
+    emit [Dummy]. The slot count — the attacker's whole view — is
+    [ceil (horizon_s / slot_s)] regardless of [visits]. Visits outside the
+    horizon are ignored; [slot_s] and [horizon_s] must be positive. *)
+
+type stats = {
+  slots : int;
+  real : int;
+  dummies : int;
+  max_delay_s : float; (** worst queueing delay of a real request *)
+  mean_delay_s : float;
+  overhead : float; (** dummies / max real 1 — the cover-traffic cost factor *)
+}
+
+val stats : slot_s:float -> (float * string) list -> slot list -> stats
+(** [stats ~slot_s visits schedule] summarises a {!pace} run: delay is
+    measured from a visit's arrival to the slot that served it. *)

@@ -1,0 +1,85 @@
+module Json = Lw_json.Json
+
+let page_value ~body ~part ~parts ~next =
+  Json.Obj
+    ([ ("body", Json.String body); ("part", Json.Number (float_of_int part));
+       ("parts", Json.Number (float_of_int parts)) ]
+    @ match next with None -> [] | Some n -> [ ("next", Json.String n) ])
+
+let envelope_overhead ~suffix ~parts =
+  (* worst-case framing: empty body, a next pointer to the longest suffix *)
+  let next = Some (Printf.sprintf "%s~p%d" suffix parts) in
+  String.length (Json.to_string (page_value ~body:"" ~part:parts ~parts ~next))
+
+(* JSON string escaping can inflate the body; chunk on a budget measured
+   against the real serialised size, shrinking on overflow. *)
+let split ~capacity ~suffix ~text =
+  if suffix = "" then Error "empty suffix"
+  else begin
+    (* a conservative framing bound: no run can produce more parts than
+       characters, so sizing the part/parts/next digits for that worst
+       case guarantees every real envelope fits the budget *)
+    let parts_bound = max 2 (String.length text + 1) in
+    let overhead = envelope_overhead ~suffix ~parts:parts_bound in
+    let budget = capacity - overhead in
+    if budget < 1 then Error (Printf.sprintf "capacity %d cannot fit pagination framing" capacity)
+    else begin
+      (* cut into chunks whose *serialised* size fits; JSON escaping at
+         most doubles common text, so halve on overflow *)
+      let chunks = ref [] in
+      let pos = ref 0 in
+      let n = String.length text in
+      (try
+         while !pos < n do
+           let rec try_len len =
+             if len < 1 then failwith "capacity too small for content"
+             else begin
+               let candidate = String.sub text !pos (min len (n - !pos)) in
+               let serialised = String.length (Json.to_string (Json.String candidate)) - 2 in
+               if serialised <= budget then candidate else try_len (len / 2)
+             end
+           in
+           let chunk = try_len budget in
+           chunks := chunk :: !chunks;
+           pos := !pos + String.length chunk
+         done
+       with Failure _ -> ());
+      if !pos < n then Error (Printf.sprintf "capacity %d cannot fit pagination framing" capacity)
+      else begin
+        let chunks = Array.of_list (List.rev !chunks) in
+        let chunks = if Array.length chunks = 0 then [| "" |] else chunks in
+        let parts = Array.length chunks in
+        let suffix_of i = if i = 0 then suffix else Printf.sprintf "%s~p%d" suffix (i + 1) in
+        Ok
+          (Array.to_list
+             (Array.mapi
+                (fun i chunk ->
+                  let next = if i + 1 < parts then Some (suffix_of (i + 1)) else None in
+                  (suffix_of i, page_value ~body:chunk ~part:(i + 1) ~parts ~next))
+                chunks))
+      end
+    end
+  end
+
+let next_suffix v =
+  match Json.member_opt "next" v with Some (Json.String s) -> Some s | _ -> None
+
+let body v = match Json.member_opt "body" v with Some (Json.String s) -> s | _ -> ""
+
+let reassemble fetch suffix =
+  let buf = Buffer.create 1024 in
+  let seen = Hashtbl.create 8 in
+  let rec go suffix =
+    if Hashtbl.mem seen suffix then Error (Printf.sprintf "pagination cycle at %s" suffix)
+    else begin
+      Hashtbl.replace seen suffix ();
+      match fetch suffix with
+      | None -> Error (Printf.sprintf "missing part %s" suffix)
+      | Some v -> (
+          Buffer.add_string buf (body v);
+          match next_suffix v with
+          | None -> Ok (Buffer.contents buf)
+          | Some next -> go next)
+    end
+  in
+  go suffix

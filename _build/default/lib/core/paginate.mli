@@ -1,0 +1,25 @@
+(** Splitting long content across fixed-size data blobs (§5.1: "any values
+    longer than this can be broken up and retrieved separately (i.e. the
+    user can click a 'next' link if she wants to read more)").
+
+    {!split} turns one long text into a chain of blob-sized JSON values
+    with [part]/[parts]/[next] fields; a site's render code shows
+    [body] and links to [next]. {!reassemble} is the inverse (used by
+    tests and by readers that want the whole document). *)
+
+val split :
+  capacity:int -> suffix:string -> text:string -> ((string * Lw_json.Json.t) list, string) result
+(** [split ~capacity ~suffix ~text] produces [(suffix_i, value_i)] pages
+    whose serialised JSON each fits in [capacity] bytes. Part 1 keeps the
+    original [suffix]; continuations get [suffix ^ "~pN"]. Fails when
+    [capacity] cannot fit even a one-character body. *)
+
+val next_suffix : Lw_json.Json.t -> string option
+(** The [next] pointer of a page produced by {!split}, if any. *)
+
+val body : Lw_json.Json.t -> string
+
+val reassemble : (string -> Lw_json.Json.t option) -> string -> (string, string) result
+(** [reassemble fetch suffix] follows the chain starting at [suffix]
+    through [fetch] and concatenates the bodies. Detects cycles and
+    missing parts. *)

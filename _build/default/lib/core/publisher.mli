@@ -1,0 +1,31 @@
+(** The publisher toolchain (§3.1): a site is one code blob plus many data
+    blobs; [push] validates it and uploads everything to a universe. *)
+
+type site = {
+  domain : string;
+  code : string; (** Lightscript source for the domain's code blob *)
+  pages : (string * Lw_json.Json.t) list;
+      (** path suffixes (each starting with ['/']) to data values *)
+}
+
+val validate : site -> (unit, string) result
+(** Static checks before any upload: domain validity, code parses and
+    defines [plan]/[render], suffix shape, duplicate suffixes. *)
+
+type push_report = { code_pushed : bool; data_pushed : int; renamed : (string * string) list }
+(** [renamed] records pages that hit an index collision and were stored
+    under an alternative name ([old_path, new_path]) — the paper's
+    "publisher can simply select another key name" recovery. *)
+
+val push :
+  ?rename_on_collision:bool ->
+  Universe.t ->
+  publisher:string ->
+  site ->
+  (push_report, string) result
+(** Claims the domain, pushes code, pushes every page. With
+    [rename_on_collision] (default true), a colliding path is retried as
+    [path ^ "~N"]. *)
+
+val page_path : site -> string -> string
+(** [page_path site suffix] is the full lightweb path. *)

@@ -1,0 +1,42 @@
+type report = { share0 : int64 array; share1 : int64 array }
+
+let random_vector ~domains rng =
+  let bytes = Lw_crypto.Drbg.generate rng (8 * domains) in
+  Array.init domains (fun i -> String.get_int64_le bytes (8 * i))
+
+let split ~domains ~value_at rng =
+  let share0 = random_vector ~domains rng in
+  let share1 =
+    Array.init domains (fun i ->
+        let v = match value_at with Some j when j = i -> 1L | _ -> 0L in
+        Int64.sub v share0.(i))
+  in
+  { share0; share1 }
+
+let report ~domains ~domain_index rng =
+  if domain_index < 0 || domain_index >= domains then
+    invalid_arg "Query_stats.report: domain index out of range";
+  split ~domains ~value_at:(Some domain_index) rng
+
+let dummy_report ~domains rng = split ~domains ~value_at:None rng
+
+type aggregator = { totals : int64 array; mutable count : int }
+
+let aggregator ~domains =
+  if domains < 1 then invalid_arg "Query_stats.aggregator: domains must be positive";
+  { totals = Array.make domains 0L; count = 0 }
+
+let absorb t share =
+  if Array.length share <> Array.length t.totals then
+    invalid_arg "Query_stats.absorb: share length mismatch";
+  Array.iteri (fun i v -> t.totals.(i) <- Int64.add t.totals.(i) v) share;
+  t.count <- t.count + 1
+
+let reports_absorbed t = t.count
+let share_totals t = Array.copy t.totals
+
+let combine a b =
+  if Array.length a.totals <> Array.length b.totals then Error "domain count mismatch"
+  else if a.count <> b.count then
+    Error (Printf.sprintf "report count mismatch (%d vs %d)" a.count b.count)
+  else Ok (Array.init (Array.length a.totals) (fun i -> Int64.add a.totals.(i) b.totals.(i)))

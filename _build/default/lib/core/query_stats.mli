@@ -1,0 +1,37 @@
+(** Private per-domain query counting for billing (§4).
+
+    CDNs want to "charge publishers proportionally to the number of
+    queries received for their domain" without learning which user queried
+    what; the paper points to Prio-style private aggregation. This module
+    implements the additive-secret-sharing core of such a system:
+
+    each client splits its one-hot "I queried domain i" vector into two
+    random shares that sum (mod 2^64) to the vector, and submits one share
+    to each of two non-colluding aggregation servers. Each server's view is
+    a uniformly random vector; only the {e sum of totals} across both
+    servers — the per-domain aggregate the CDN bills from — carries any
+    information. *)
+
+type report = { share0 : int64 array; share1 : int64 array }
+
+val report : domains:int -> domain_index:int -> Lw_crypto.Drbg.t -> report
+(** A contribution of 1 to [domain_index]. Raises [Invalid_argument] on a
+    bad index. *)
+
+val dummy_report : domains:int -> Lw_crypto.Drbg.t -> report
+(** A contribution of 0 everywhere — cover traffic so that {e whether} a
+    user reports is also uninformative. *)
+
+type aggregator
+
+val aggregator : domains:int -> aggregator
+val absorb : aggregator -> int64 array -> unit
+(** Raises [Invalid_argument] on a length mismatch. *)
+
+val reports_absorbed : aggregator -> int
+val share_totals : aggregator -> int64 array
+(** One server's running totals — uniformly random in isolation. *)
+
+val combine : aggregator -> aggregator -> (int64 array, string) result
+(** The billing totals; fails if the aggregators saw different report
+    counts (a malformed-submission tell). *)

@@ -1,0 +1,153 @@
+module Json = Lw_json.Json
+
+let format_version = 1
+
+let geometry_json (g : Universe.geometry) =
+  Json.Obj
+    [
+      ("code_blob_size", Json.Number (float_of_int g.Universe.code_blob_size));
+      ("data_blob_size", Json.Number (float_of_int g.Universe.data_blob_size));
+      ("fetches_per_page", Json.Number (float_of_int g.Universe.fetches_per_page));
+      ("code_domain_bits", Json.Number (float_of_int g.Universe.code_domain_bits));
+      ("data_domain_bits", Json.Number (float_of_int g.Universe.data_domain_bits));
+    ]
+
+let geometry_of_json v =
+  try
+    Ok
+      {
+        Universe.code_blob_size = Json.get_int (Json.member "code_blob_size" v);
+        data_blob_size = Json.get_int (Json.member "data_blob_size" v);
+        fetches_per_page = Json.get_int (Json.member "fetches_per_page" v);
+        code_domain_bits = Json.get_int (Json.member "code_domain_bits" v);
+        data_domain_bits = Json.get_int (Json.member "data_domain_bits" v);
+      }
+  with Invalid_argument m -> Error ("bad geometry: " ^ m)
+
+let export u =
+  let owners =
+    Json.List
+      (List.map
+         (fun (domain, publisher) ->
+           Json.Obj [ ("domain", Json.String domain); ("publisher", Json.String publisher) ])
+         (Universe.domains u))
+  in
+  let code =
+    Json.List
+      (List.filter_map
+         (fun (domain, _) ->
+           Universe.code_source u domain
+           |> Option.map (fun source ->
+                  Json.Obj [ ("domain", Json.String domain); ("source", Json.String source) ]))
+         (Universe.domains u))
+  in
+  let data =
+    Json.List
+      (List.filter_map
+         (fun path ->
+           Universe.data_value u path
+           |> Option.map (fun value ->
+                  Json.Obj [ ("path", Json.String path); ("value", Json.String value) ]))
+         (Universe.data_paths u))
+  in
+  Json.Obj
+    [
+      ("format", Json.Number (float_of_int format_version));
+      ("name", Json.String (Universe.name u));
+      ("seed", Json.String (Universe.seed u));
+      ("geometry", geometry_json (Universe.geometry u));
+      ("owners", owners);
+      ("code", code);
+      ("data", data);
+    ]
+
+let ( let* ) = Result.bind
+
+let list_field name v =
+  match Json.member_opt name v with
+  | Some (Json.List l) -> Ok l
+  | _ -> Error (Printf.sprintf "missing list field %S" name)
+
+let string_member name v =
+  match Json.member_opt name v with
+  | Some (Json.String s) -> Ok s
+  | _ -> Error (Printf.sprintf "missing string field %S" name)
+
+let fold_all f xs =
+  List.fold_left
+    (fun acc x ->
+      let* () = acc in
+      f x)
+    (Ok ()) xs
+
+let import v =
+  let* format =
+    match Json.member_opt "format" v with
+    | Some (Json.Number f) when Float.is_integer f -> Ok (int_of_float f)
+    | _ -> Error "missing format version"
+  in
+  if format <> format_version then Error (Printf.sprintf "unsupported format %d" format)
+  else begin
+    let* name = string_member "name" v in
+    let* seed = string_member "seed" v in
+    let* geometry = geometry_of_json (Json.member "geometry" v) in
+    let u = Universe.create ~seed ~name geometry in
+    let* owners = list_field "owners" v in
+    let* () =
+      fold_all
+        (fun o ->
+          let* domain = string_member "domain" o in
+          let* publisher = string_member "publisher" o in
+          Universe.claim_domain u ~publisher ~domain)
+        owners
+    in
+    let* code = list_field "code" v in
+    let* () =
+      fold_all
+        (fun c ->
+          let* domain = string_member "domain" c in
+          let* source = string_member "source" c in
+          match Universe.owner_of u domain with
+          | None -> Error (Printf.sprintf "code for unregistered domain %s" domain)
+          | Some publisher -> Universe.push_code u ~publisher ~domain ~source)
+        code
+    in
+    let* data = list_field "data" v in
+    let* () =
+      fold_all
+        (fun d ->
+          let* path = string_member "path" d in
+          let* text = string_member "value" d in
+          let* value =
+            match Json.of_string_opt text with
+            | Some j -> Ok j
+            | None -> Error (Printf.sprintf "data at %s is not JSON" path)
+          in
+          match Lw_path.parse path with
+          | Error e -> Error e
+          | Ok p -> (
+              match Universe.owner_of u (Lw_path.domain p) with
+              | None -> Error (Printf.sprintf "data for unregistered domain at %s" path)
+              | Some publisher -> Universe.push_data u ~publisher ~path ~value))
+        data
+    in
+    Ok u
+  end
+
+let save u ~path =
+  try
+    let oc = open_out_bin path in
+    output_string oc (Json.to_string ~pretty:true (export u));
+    close_out oc;
+    Ok ()
+  with Sys_error e -> Error e
+
+let load ~path =
+  try
+    let ic = open_in_bin path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Json.of_string_opt text with
+    | Some v -> import v
+    | None -> Error (Printf.sprintf "%s is not valid JSON" path)
+  with Sys_error e -> Error e

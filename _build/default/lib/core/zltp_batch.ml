@@ -1,0 +1,59 @@
+type t = {
+  server : Lw_pir.Server.t;
+  batch_size : int;
+  mutable queue : (Lw_dpf.Dpf.key * (string -> unit)) list; (* reversed *)
+  mutable batches : int;
+  mutable answered : int;
+}
+
+let create ?(batch_size = 16) server =
+  if batch_size < 1 then invalid_arg "Zltp_batch.create: batch_size must be positive";
+  { server; batch_size; queue = []; batches = 0; answered = 0 }
+
+let batch_size t = t.batch_size
+let pending t = List.length t.queue
+let batches_executed t = t.batches
+let queries_answered t = t.answered
+
+let run_batch t entries =
+  let entries = Array.of_list entries in
+  let keys = Array.map fst entries in
+  let shares = Lw_pir.Server.answer_batch t.server keys in
+  Array.iteri (fun i (_, deliver) -> deliver shares.(i)) entries;
+  t.batches <- t.batches + 1;
+  t.answered <- t.answered + Array.length entries
+
+let flush t =
+  match t.queue with
+  | [] -> ()
+  | entries ->
+      t.queue <- [];
+      run_batch t (List.rev entries)
+
+let submit t key deliver =
+  t.queue <- (key, deliver) :: t.queue;
+  if List.length t.queue >= t.batch_size then flush t
+
+type measurement = {
+  batch_size : int;
+  total_s : float;
+  latency_s : float;
+  per_request_s : float;
+  throughput_rps : float;
+}
+
+let measure server keys =
+  let n = Array.length keys in
+  if n = 0 then invalid_arg "Zltp_batch.measure: empty batch";
+  let t0 = Unix.gettimeofday () in
+  let shares = Lw_pir.Server.answer_batch server keys in
+  let t1 = Unix.gettimeofday () in
+  ignore shares;
+  let total = t1 -. t0 in
+  {
+    batch_size = n;
+    total_s = total;
+    latency_s = total;
+    per_request_s = total /. float_of_int n;
+    throughput_rps = float_of_int n /. total;
+  }

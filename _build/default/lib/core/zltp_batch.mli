@@ -1,0 +1,38 @@
+(** Request batching (§5.1): the scan dominates per-request cost, so the
+    server accumulates up to [batch_size] queries and answers them with a
+    single fused pass over the data — higher latency (a request waits for
+    its batch), higher throughput (the scan is paid once per batch).
+
+    The scheduler is synchronous: callers {!submit} queries and the batch
+    is answered when full or explicitly {!flush}ed, mirroring a
+    fixed-batch server loop. {!measure} drives the latency/throughput
+    sweep of E2. *)
+
+type t
+
+val create : ?batch_size:int -> Lw_pir.Server.t -> t
+(** Default batch size 16, the paper's operating point. *)
+
+val batch_size : t -> int
+val pending : t -> int
+
+val submit : t -> Lw_dpf.Dpf.key -> (string -> unit) -> unit
+(** [submit t key deliver] enqueues a query; [deliver] receives the answer
+    share when the batch executes (immediately if this fills it). *)
+
+val flush : t -> unit
+(** Execute a partial batch now. *)
+
+val batches_executed : t -> int
+val queries_answered : t -> int
+
+type measurement = {
+  batch_size : int;
+  total_s : float; (** wall time to answer the whole batch *)
+  latency_s : float; (** completion time of a request in the batch *)
+  per_request_s : float; (** total_s / batch_size *)
+  throughput_rps : float;
+}
+
+val measure : Lw_pir.Server.t -> Lw_dpf.Dpf.key array -> measurement
+(** Time one fused batch over the given keys. *)

@@ -1,0 +1,191 @@
+type session = { ep : Lw_net.Endpoint.t; welcome : Zltp_wire.server_msg }
+
+type t = {
+  mode : Zltp_mode.t;
+  blob_size : int;
+  domain_bits : int;
+  keymap : Lw_pir.Keymap.t option; (* PIR mode *)
+  sessions : session list;
+  rng : Lw_crypto.Drbg.t;
+  mutable queries : int;
+}
+
+let mode t = t.mode
+let blob_size t = t.blob_size
+let domain_bits t = t.domain_bits
+let queries_sent t = t.queries
+
+let roundtrip ep msg =
+  ep.Lw_net.Endpoint.send (Zltp_wire.encode_client msg);
+  match Zltp_wire.decode_server (ep.Lw_net.Endpoint.recv ()) with
+  | Ok reply -> Ok reply
+  | Error e -> Error (Printf.sprintf "undecodable server reply: %s" e)
+  | exception Lw_net.Endpoint.Closed -> Error "connection closed"
+
+let connect ?(prefer = [ Zltp_mode.Pir2; Zltp_mode.Enclave ]) ?rng endpoints =
+  let rng = match rng with Some r -> r | None -> Lw_crypto.Drbg.system () in
+  let hello ep =
+    match roundtrip ep (Zltp_wire.Hello { version = Zltp_wire.protocol_version; modes = prefer }) with
+    | Ok (Zltp_wire.Welcome _ as w) -> Ok { ep; welcome = w }
+    | Ok (Zltp_wire.Err { message; _ }) -> Error (Printf.sprintf "server refused: %s" message)
+    | Ok _ -> Error "protocol violation: expected Welcome"
+    | Error e -> Error e
+  in
+  let rec hello_all acc = function
+    | [] -> Ok (List.rev acc)
+    | ep :: rest -> ( match hello ep with Ok s -> hello_all (s :: acc) rest | Error e -> Error e)
+  in
+  match hello_all [] endpoints with
+  | Error e -> Error e
+  | Ok [] -> Error "no endpoints given"
+  | Ok (first :: _ as sessions) -> (
+      let params s =
+        match s.welcome with
+        | Zltp_wire.Welcome { mode; domain_bits; blob_size; hash_key; _ } ->
+            (mode, domain_bits, blob_size, hash_key)
+        | _ -> assert false
+      in
+      let m, d, b, hk = params first in
+      let consistent =
+        List.for_all
+          (fun s ->
+            let m', d', b', hk' = params s in
+            m = m' && d = d' && b = b' && String.equal hk hk')
+          sessions
+      in
+      if not consistent then Error "servers disagree on session parameters"
+      else
+        match (m, List.length sessions) with
+        | Zltp_mode.Pir2, 2 ->
+            Ok
+              {
+                mode = m;
+                blob_size = b;
+                domain_bits = d;
+                keymap = Some (Lw_pir.Keymap.create ~hash_key:hk ~domain_bits:d);
+                sessions;
+                rng;
+                queries = 0;
+              }
+        | Zltp_mode.Pir2, n ->
+            Error (Printf.sprintf "PIR mode requires exactly 2 non-colluding servers, got %d" n)
+        | Zltp_mode.Enclave, 1 ->
+            Ok
+              {
+                mode = m;
+                blob_size = b;
+                domain_bits = d;
+                keymap = None;
+                sessions;
+                rng;
+                queries = 0;
+              }
+        | Zltp_mode.Enclave, n ->
+            Error (Printf.sprintf "enclave mode uses exactly 1 server, got %d" n))
+
+let expect_answer = function
+  | Ok (Zltp_wire.Answer { share }) -> Ok share
+  | Ok (Zltp_wire.Err { message; _ }) -> Error message
+  | Ok _ -> Error "protocol violation: expected Answer"
+  | Error e -> Error e
+
+let pir_fetch_index t index =
+  match t.sessions with
+  | [ s0; s1 ] -> (
+      let key0, key1 = Lw_dpf.Dpf.gen ~domain_bits:t.domain_bits ~alpha:index t.rng in
+      let q k = Zltp_wire.Pir_query { dpf_key = Lw_dpf.Dpf.serialize k } in
+      match (expect_answer (roundtrip s0.ep (q key0)), expect_answer (roundtrip s1.ep (q key1))) with
+      | Ok r0, Ok r1 ->
+          t.queries <- t.queries + 1;
+          Ok (Lw_pir.Client.combine ~resp0:r0 ~resp1:r1)
+      | Error e, _ | _, Error e -> Error e)
+  | _ -> Error "not a PIR session"
+
+let get_raw_index t index =
+  match t.mode with
+  | Zltp_mode.Pir2 ->
+      if index < 0 || index >= 1 lsl t.domain_bits then Error "index out of domain"
+      else pir_fetch_index t index
+  | Zltp_mode.Enclave -> Error "raw index fetch is PIR-only"
+
+let get t key =
+  match t.mode with
+  | Zltp_mode.Pir2 -> (
+      let keymap = Option.get t.keymap in
+      match pir_fetch_index t (Lw_pir.Keymap.index_of_key keymap key) with
+      | Ok bucket -> Ok (Lw_pir.Record.decode_for_key ~key bucket)
+      | Error e -> Error e)
+  | Zltp_mode.Enclave -> (
+      match t.sessions with
+      | [ s ] -> (
+          match roundtrip s.ep (Zltp_wire.Enclave_get { key }) with
+          | Ok (Zltp_wire.Enclave_answer { value }) ->
+              t.queries <- t.queries + 1;
+              Ok value
+          | Ok (Zltp_wire.Err { message; _ }) -> Error message
+          | Ok _ -> Error "protocol violation: expected Enclave_answer"
+          | Error e -> Error e)
+      | _ -> Error "not an enclave session")
+
+let get_batch t keys =
+  match t.mode with
+  | Zltp_mode.Enclave ->
+      (* no server-side batch primitive needed: polylog per-op cost *)
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | k :: rest -> ( match get t k with Ok v -> go (v :: acc) rest | Error e -> Error e)
+      in
+      go [] keys
+  | Zltp_mode.Pir2 -> (
+      match t.sessions with
+      | [ s0; s1 ] -> (
+          let keymap = Option.get t.keymap in
+          let queries =
+            List.map
+              (fun key ->
+                let index = Lw_pir.Keymap.index_of_key keymap key in
+                let k0, k1 = Lw_dpf.Dpf.gen ~domain_bits:t.domain_bits ~alpha:index t.rng in
+                (key, k0, k1))
+              keys
+          in
+          let batch which =
+            Zltp_wire.Pir_batch
+              {
+                dpf_keys =
+                  List.map (fun (_, k0, k1) -> Lw_dpf.Dpf.serialize (which k0 k1)) queries;
+              }
+          in
+          let expect_batch = function
+            | Ok (Zltp_wire.Batch_answer { shares }) -> Ok shares
+            | Ok (Zltp_wire.Err { message; _ }) -> Error message
+            | Ok _ -> Error "protocol violation: expected Batch_answer"
+            | Error e -> Error e
+          in
+          match
+            ( expect_batch (roundtrip s0.ep (batch (fun a _ -> a))),
+              expect_batch (roundtrip s1.ep (batch (fun _ b -> b))) )
+          with
+          | Ok shares0, Ok shares1 ->
+              if List.length shares0 <> List.length keys || List.length shares1 <> List.length keys
+              then Error "batch answer length mismatch"
+              else begin
+                t.queries <- t.queries + List.length keys;
+                let values =
+                  List.map2
+                    (fun (key, _, _) (r0, r1) ->
+                      Lw_pir.Record.decode_for_key ~key (Lw_pir.Client.combine ~resp0:r0 ~resp1:r1))
+                    queries
+                    (List.combine shares0 shares1)
+                in
+                Ok values
+              end
+          | Error e, _ | _, Error e -> Error e)
+      | _ -> Error "not a PIR session")
+
+let close t =
+  List.iter
+    (fun s ->
+      (try s.ep.Lw_net.Endpoint.send (Zltp_wire.encode_client Zltp_wire.Bye)
+       with Lw_net.Endpoint.Closed -> ());
+      s.ep.Lw_net.Endpoint.close ())
+    t.sessions

@@ -1,0 +1,40 @@
+(** The ZLTP client session (§2, §3.2).
+
+    In PIR mode the client holds connections to the {e two} non-colluding
+    logical servers, generates a fresh DPF key pair per private-GET, and
+    XORs the two response shares. In enclave mode a single connection
+    carries the request key (inside the simulated attested channel).
+
+    Either way the application-facing operation is the paper's single
+    primitive: [GET(key) -> value]. *)
+
+type t
+
+val connect :
+  ?prefer:Zltp_mode.t list ->
+  ?rng:Lw_crypto.Drbg.t ->
+  Lw_net.Endpoint.t list ->
+  (t, string) result
+(** [connect endpoints] performs Hello/Welcome on each endpoint and checks
+    the servers agree on parameters. PIR mode needs exactly two endpoints,
+    enclave mode one; a mismatch is an [Error]. *)
+
+val mode : t -> Zltp_mode.t
+val blob_size : t -> int
+val domain_bits : t -> int
+
+val get : t -> string -> (string option, string) result
+(** [get t key] is the private-GET: [Ok None] when no record exists under
+    [key] (or a hash collision handed back someone else's record). *)
+
+val get_raw_index : t -> int -> (string, string) result
+(** PIR mode only: fetch bucket [index] without keyword hashing (cuckoo
+    probing and tests use this). *)
+
+val get_batch : t -> string list -> (string option list, string) result
+(** Batched private-GETs (one round trip, server-side fused scan). *)
+
+val queries_sent : t -> int
+
+val close : t -> unit
+(** Sends [Bye] best-effort and closes the endpoints. *)

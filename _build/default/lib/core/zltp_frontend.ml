@@ -1,0 +1,109 @@
+type t = {
+  domain_bits : int;
+  shard_bits : int;
+  bucket_size : int;
+  shards : Lw_pir.Server.t array;
+}
+
+let create ~domain_bits ~shard_bits ~bucket_size =
+  if shard_bits <= 0 || shard_bits >= domain_bits then
+    invalid_arg "Zltp_frontend.create: shard_bits must be in (0, domain_bits)";
+  let rem = domain_bits - shard_bits in
+  let shards =
+    Array.init (1 lsl shard_bits) (fun _ ->
+        Lw_pir.Server.create (Lw_pir.Bucket_db.create ~domain_bits:rem ~bucket_size))
+  in
+  { domain_bits; shard_bits; bucket_size; shards }
+
+let of_db db ~shard_bits =
+  let domain_bits = Lw_pir.Bucket_db.domain_bits db in
+  let t = create ~domain_bits ~shard_bits ~bucket_size:(Lw_pir.Bucket_db.bucket_size db) in
+  let rem = domain_bits - shard_bits in
+  for i = 0 to Lw_pir.Bucket_db.size db - 1 do
+    if not (Lw_pir.Bucket_db.is_empty db i) then begin
+      let shard = i lsr rem and local = i land ((1 lsl rem) - 1) in
+      Lw_pir.Bucket_db.set (Lw_pir.Server.db t.shards.(shard)) local (Lw_pir.Bucket_db.get db i)
+    end
+  done;
+  t
+
+let domain_bits t = t.domain_bits
+let shard_bits t = t.shard_bits
+let shard_count t = Array.length t.shards
+let bucket_size t = t.bucket_size
+
+let route t global =
+  if global < 0 || global >= 1 lsl t.domain_bits then
+    invalid_arg "Zltp_frontend: index out of domain";
+  let rem = t.domain_bits - t.shard_bits in
+  (global lsr rem, global land ((1 lsl rem) - 1))
+
+let set_bucket t global data =
+  let shard, local = route t global in
+  Lw_pir.Bucket_db.set (Lw_pir.Server.db t.shards.(shard)) local data
+
+let get_bucket t global =
+  let shard, local = route t global in
+  Lw_pir.Bucket_db.get (Lw_pir.Server.db t.shards.(shard)) local
+
+let check_key t k =
+  if Lw_dpf.Dpf.domain_bits k <> t.domain_bits then
+    invalid_arg "Zltp_frontend.answer: key domain mismatch"
+
+let combine_shares t shares =
+  let acc = Bytes.make t.bucket_size '\x00' in
+  Array.iter
+    (fun share -> Lw_util.Xorbuf.xor_string_into ~src:share ~src_pos:0 ~dst:acc ~dst_pos:0
+        ~len:t.bucket_size)
+    shares;
+  Bytes.unsafe_to_string acc
+
+let answer t k =
+  check_key t k;
+  let subs = Lw_dpf.Distributed.split k ~shard_bits:t.shard_bits in
+  combine_shares t (Array.mapi (fun i sub -> Lw_pir.Server.answer t.shards.(i) sub) subs)
+
+type shard_timing = { shard : int; eval_s : float; scan_s : float }
+
+let answer_timed t k =
+  check_key t k;
+  let subs = Lw_dpf.Distributed.split k ~shard_bits:t.shard_bits in
+  let timings = ref [] in
+  let shares =
+    Array.mapi
+      (fun i sub ->
+        let t0 = Unix.gettimeofday () in
+        let bits = Lw_pir.Server.eval_bits t.shards.(i) sub in
+        let t1 = Unix.gettimeofday () in
+        let share = Lw_pir.Server.scan t.shards.(i) bits in
+        let t2 = Unix.gettimeofday () in
+        timings := { shard = i; eval_s = t1 -. t0; scan_s = t2 -. t1 } :: !timings;
+        share)
+      subs
+  in
+  (combine_shares t shares, List.rev !timings)
+
+let answer_parallel ?num_domains t k =
+  check_key t k;
+  let workers =
+    match num_domains with
+    | Some n -> max 1 n
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let subs = Lw_dpf.Distributed.split k ~shard_bits:t.shard_bits in
+  let n = Array.length subs in
+  let shares = Array.make n "" in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec go () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        shares.(i) <- Lw_pir.Server.answer t.shards.(i) subs.(i);
+        go ()
+      end
+    in
+    go ()
+  in
+  let domains = List.init (min workers n) (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join domains;
+  combine_shares t shares

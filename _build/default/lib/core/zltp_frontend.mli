@@ -1,0 +1,38 @@
+(** Sharded ZLTP data plane (§5.2): a front-end owns [2^shard_bits] data
+    shards, each holding the slice of the bucket domain whose top bits
+    equal its shard index. Per query, the front-end expands the top of the
+    client's DPF tree, hands every shard its sub-tree root, and XORs the
+    shard answers — so each shard pays only the small-domain evaluation
+    cost, exactly the distribution argument the paper's Table 2 scale-up
+    rests on. *)
+
+type t
+
+val create : domain_bits:int -> shard_bits:int -> bucket_size:int -> t
+(** Empty sharded store over a [2^domain_bits] global bucket domain. *)
+
+val of_db : Lw_pir.Bucket_db.t -> shard_bits:int -> t
+(** Split an existing monolithic database into shards (copies buckets). *)
+
+val domain_bits : t -> int
+val shard_bits : t -> int
+val shard_count : t -> int
+val bucket_size : t -> int
+
+val set_bucket : t -> int -> string -> unit
+(** [set_bucket t global_index data] routes to the owning shard. *)
+
+val get_bucket : t -> int -> string
+
+val answer : t -> Lw_dpf.Dpf.key -> string
+(** Full private-GET answer share for a full-domain DPF key. *)
+
+type shard_timing = { shard : int; eval_s : float; scan_s : float }
+
+val answer_timed : t -> Lw_dpf.Dpf.key -> string * shard_timing list
+(** Same, with per-shard wall-clock timings for E7. *)
+
+val answer_parallel : ?num_domains:int -> t -> Lw_dpf.Dpf.key -> string
+(** Shard answers computed on OCaml domains ([num_domains] defaults to
+    [Domain.recommended_domain_count ()]), modelling the paper's fleet of
+    data servers working one request concurrently. *)

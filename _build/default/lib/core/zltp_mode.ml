@@ -1,0 +1,17 @@
+type t = Pir2 | Enclave
+
+let name = function Pir2 -> "pir2" | Enclave -> "enclave"
+let to_tag = function Pir2 -> 1 | Enclave -> 2
+let of_tag = function 1 -> Some Pir2 | 2 -> Some Enclave | _ -> None
+let all = [ Pir2; Enclave ]
+
+let negotiate ~client ~server =
+  List.find_opt (fun m -> List.mem m server) client
+
+let assumptions = function
+  | Pir2 ->
+      [
+        "cryptographic: a length-doubling PRG is secure";
+        "non-collusion: at most 1 of the 2 servers is compromised";
+      ]
+  | Enclave -> [ "hardware: the enclave protects its private memory" ]

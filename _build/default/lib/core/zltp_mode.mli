@@ -1,0 +1,23 @@
+(** ZLTP modes of operation (§2.2) and session negotiation.
+
+    - [Pir2]: two-server private information retrieval. Strongest
+      assumptions (cryptographic + non-collusion), linear-scan cost.
+    - [Enclave]: hardware enclave + oblivious RAM. Polylog cost, but the
+      client must trust the enclave vendor. *)
+
+type t = Pir2 | Enclave
+
+val name : t -> string
+val to_tag : t -> int
+val of_tag : int -> t option
+
+val all : t list
+
+val negotiate : client:t list -> server:t list -> t option
+(** First mode in the client's preference order that the server supports
+    (§2: "the client and server negotiate which cryptographic mode of
+    operation they will use"). *)
+
+val assumptions : t -> string list
+(** The trust assumptions the mode's security rests on, for docs and the
+    CLI's [info] output. *)

@@ -1,0 +1,151 @@
+let log_src = Logs.Src.create "lightweb.zltp" ~doc:"ZLTP server events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type backend =
+  | Pir_flat of Lw_pir.Server.t
+  | Pir_sharded of Zltp_frontend.t
+  | Enclave_backend of Lw_oram.Enclave.t
+
+type t = {
+  backend : backend;
+  blob_size : int;
+  hash_key : string;
+  server_id : string;
+  mutable queries : int;
+}
+
+let default_hash_key = String.sub (Lw_crypto.Sha256.digest "lw-pir-store-default") 0 16
+
+let create ?(server_id = "zltp-server") ?(hash_key = default_hash_key) ~blob_size backend =
+  if blob_size < 1 then invalid_arg "Zltp_server.create: blob_size must be positive";
+  { backend; blob_size; hash_key; server_id; queries = 0 }
+
+let backend t = t.backend
+let blob_size t = t.blob_size
+let queries_served t = t.queries
+
+let modes t =
+  match t.backend with
+  | Pir_flat _ | Pir_sharded _ -> [ Zltp_mode.Pir2 ]
+  | Enclave_backend _ -> [ Zltp_mode.Enclave ]
+
+let domain_bits t =
+  match t.backend with
+  | Pir_flat s -> Lw_pir.Bucket_db.domain_bits (Lw_pir.Server.db s)
+  | Pir_sharded fe -> Zltp_frontend.domain_bits fe
+  | Enclave_backend _ -> 0
+
+type conn = { server : t; mutable mode : Zltp_mode.t option }
+
+let conn server = { server; mode = None }
+
+let err code message = Some (Zltp_wire.Err { code; message })
+
+let answer_pir t dpf_key =
+  match Lw_dpf.Dpf.deserialize dpf_key with
+  | Error e -> Error (Printf.sprintf "bad DPF key: %s" e)
+  | Ok k -> (
+      match t.backend with
+      | Pir_flat s ->
+          if Lw_dpf.Dpf.domain_bits k <> domain_bits t then Error "domain mismatch"
+          else Ok (Lw_pir.Server.answer s k)
+      | Pir_sharded fe ->
+          if Lw_dpf.Dpf.domain_bits k <> Zltp_frontend.domain_bits fe then Error "domain mismatch"
+          else Ok (Zltp_frontend.answer fe k)
+      | Enclave_backend _ -> Error "wrong mode")
+
+let handle c msg =
+  let t = c.server in
+  match msg with
+  | Zltp_wire.Bye -> None
+  | Zltp_wire.Hello { version; modes = client_modes } ->
+      if version <> Zltp_wire.protocol_version then
+        err Zltp_wire.err_bad_request "unsupported protocol version"
+      else begin
+        match Zltp_mode.negotiate ~client:client_modes ~server:(modes t) with
+        | None ->
+            Log.info (fun m -> m "%s: hello with no common mode" t.server_id);
+            err Zltp_wire.err_bad_request "no common mode of operation"
+        | Some mode ->
+            Log.debug (fun m -> m "%s: session negotiated %s" t.server_id (Zltp_mode.name mode));
+            c.mode <- Some mode;
+            Some
+              (Zltp_wire.Welcome
+                 {
+                   version = Zltp_wire.protocol_version;
+                   mode;
+                   domain_bits = domain_bits t;
+                   blob_size = t.blob_size;
+                   hash_key = t.hash_key;
+                   server_id = t.server_id;
+                 })
+      end
+  | Zltp_wire.Pir_query { dpf_key } -> (
+      match c.mode with
+      | None -> err Zltp_wire.err_not_negotiated "hello first"
+      | Some Zltp_mode.Enclave -> err Zltp_wire.err_wrong_mode "session is in enclave mode"
+      | Some Zltp_mode.Pir2 -> (
+          match answer_pir t dpf_key with
+          | Ok share ->
+              t.queries <- t.queries + 1;
+              (* note: nothing about the query is loggable beyond its
+                 existence — the server never has the request key *)
+              Log.debug (fun m -> m "%s: private-GET #%d answered" t.server_id t.queries);
+              Some (Zltp_wire.Answer { share })
+          | Error e ->
+              Log.info (fun m -> m "%s: rejected query: %s" t.server_id e);
+              err Zltp_wire.err_bad_request e))
+  | Zltp_wire.Pir_batch { dpf_keys } -> (
+      match c.mode with
+      | None -> err Zltp_wire.err_not_negotiated "hello first"
+      | Some Zltp_mode.Enclave -> err Zltp_wire.err_wrong_mode "session is in enclave mode"
+      | Some Zltp_mode.Pir2 -> (
+          let rec answer_all acc = function
+            | [] -> Ok (List.rev acc)
+            | k :: rest -> (
+                match answer_pir t k with
+                | Ok share -> answer_all (share :: acc) rest
+                | Error e -> Error e)
+          in
+          match answer_all [] dpf_keys with
+          | Ok shares ->
+              t.queries <- t.queries + List.length shares;
+              Some (Zltp_wire.Batch_answer { shares })
+          | Error e -> err Zltp_wire.err_bad_request e))
+  | Zltp_wire.Enclave_get { key } -> (
+      match c.mode with
+      | None -> err Zltp_wire.err_not_negotiated "hello first"
+      | Some Zltp_mode.Pir2 -> err Zltp_wire.err_wrong_mode "session is in PIR mode"
+      | Some Zltp_mode.Enclave -> (
+          match t.backend with
+          | Enclave_backend e ->
+              t.queries <- t.queries + 1;
+              Some (Zltp_wire.Enclave_answer { value = Lw_oram.Enclave.get e key })
+          | Pir_flat _ | Pir_sharded _ -> err Zltp_wire.err_internal "backend/mode mismatch"))
+
+let handle_frame c frame =
+  match Zltp_wire.decode_client frame with
+  | Error e -> Some (Zltp_wire.encode_server (Zltp_wire.Err { code = Zltp_wire.err_bad_request; message = e }))
+  | Ok msg -> Option.map Zltp_wire.encode_server (handle c msg)
+
+let serve t ep =
+  let c = conn t in
+  let rec loop () =
+    match ep.Lw_net.Endpoint.recv () with
+    | frame -> (
+        match handle_frame c frame with
+        | Some reply ->
+            ep.Lw_net.Endpoint.send reply;
+            loop ()
+        | None -> ())
+    | exception Lw_net.Endpoint.Closed -> ()
+  in
+  loop ()
+
+let endpoint t =
+  let c = conn t in
+  Lw_net.Endpoint.loopback (fun frame ->
+      match handle_frame c frame with
+      | Some reply -> reply
+      | None -> Zltp_wire.encode_server (Zltp_wire.Err { code = Zltp_wire.err_bad_request; message = "connection closed" }))

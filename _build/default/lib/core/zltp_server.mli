@@ -1,0 +1,44 @@
+(** A logical ZLTP server: holds one key-value universe shard set and
+    answers private-GETs in its configured modes.
+
+    In PIR mode this object is one of the two non-colluding logical
+    servers; a deployment instantiates it twice over replicas of the same
+    data. In enclave mode a single instance suffices. *)
+
+type backend =
+  | Pir_flat of Lw_pir.Server.t (** single data server (microbenchmark scale) *)
+  | Pir_sharded of Zltp_frontend.t (** front-end + shards (§5.2) *)
+  | Enclave_backend of Lw_oram.Enclave.t
+
+type t
+
+val create :
+  ?server_id:string -> ?hash_key:string -> blob_size:int -> backend -> t
+(** [hash_key] is the public keyword-hash key announced in [Welcome]; it
+    must match the store the backend was populated from. *)
+
+val backend : t -> backend
+val blob_size : t -> int
+val modes : t -> Zltp_mode.t list
+val queries_served : t -> int
+
+(** {2 Per-connection protocol state} *)
+
+type conn
+
+val conn : t -> conn
+
+val handle : conn -> Zltp_wire.client_msg -> Zltp_wire.server_msg option
+(** State-machine step; [None] for [Bye]. Queries before a successful
+    [Hello] yield [Err]s. *)
+
+val handle_frame : conn -> string -> string option
+(** Decode, {!handle}, encode. Undecodable input yields an encoded [Err]. *)
+
+val serve : t -> Lw_net.Endpoint.t -> unit
+(** Run a connection to completion over an endpoint (used by the TCP
+    binary and the pipe-based integration tests). *)
+
+val endpoint : t -> Lw_net.Endpoint.t
+(** In-process connection: a fresh client-side endpoint served by this
+    server via {!Lw_net.Endpoint.loopback}. *)

@@ -1,0 +1,176 @@
+type client_msg =
+  | Hello of { version : int; modes : Zltp_mode.t list }
+  | Pir_query of { dpf_key : string }
+  | Pir_batch of { dpf_keys : string list }
+  | Enclave_get of { key : string }
+  | Bye
+
+type server_msg =
+  | Welcome of {
+      version : int;
+      mode : Zltp_mode.t;
+      domain_bits : int;
+      blob_size : int;
+      hash_key : string;
+      server_id : string;
+    }
+  | Answer of { share : string }
+  | Batch_answer of { shares : string list }
+  | Enclave_answer of { value : string option }
+  | Err of { code : int; message : string }
+
+let protocol_version = 1
+let err_not_negotiated = 1
+let err_bad_request = 2
+let err_wrong_mode = 3
+let err_internal = 4
+
+(* ---- primitive writers/readers: tag byte, u8, u32-be, length-prefixed
+   strings and lists ---- *)
+
+let add_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+let add_u32 buf v = Buffer.add_int32_be buf (Int32.of_int v)
+
+let add_str buf s =
+  add_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let add_list buf xs add =
+  add_u32 buf (List.length xs);
+  List.iter (add buf) xs
+
+type reader = { src : string; mutable pos : int }
+
+exception Decode of string
+
+let need r n = if r.pos + n > String.length r.src then raise (Decode "truncated message")
+
+let u8 r =
+  need r 1;
+  let v = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let u32 r =
+  need r 4;
+  let v = Int32.to_int (String.get_int32_be r.src r.pos) in
+  r.pos <- r.pos + 4;
+  if v < 0 then raise (Decode "negative length");
+  v
+
+let str r =
+  let n = u32 r in
+  need r n;
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let list r elt =
+  let n = u32 r in
+  if n > 1 lsl 20 then raise (Decode "list too long");
+  List.init n (fun _ -> elt r)
+
+let finish r v =
+  if r.pos <> String.length r.src then raise (Decode "trailing bytes");
+  v
+
+let run_decoder f s = try Ok (f { src = s; pos = 0 }) with Decode e -> Error e
+
+(* ---- client messages ---- *)
+
+let encode_client msg =
+  let buf = Buffer.create 64 in
+  (match msg with
+  | Hello { version; modes } ->
+      add_u8 buf 1;
+      add_u8 buf version;
+      add_list buf modes (fun b m -> add_u8 b (Zltp_mode.to_tag m))
+  | Pir_query { dpf_key } ->
+      add_u8 buf 2;
+      add_str buf dpf_key
+  | Pir_batch { dpf_keys } ->
+      add_u8 buf 3;
+      add_list buf dpf_keys add_str
+  | Enclave_get { key } ->
+      add_u8 buf 4;
+      add_str buf key
+  | Bye -> add_u8 buf 5);
+  Buffer.contents buf
+
+let mode_of_tag r =
+  match Zltp_mode.of_tag (u8 r) with
+  | Some m -> m
+  | None -> raise (Decode "unknown mode tag")
+
+let decode_client s =
+  run_decoder
+    (fun r ->
+      match u8 r with
+      | 1 ->
+          let version = u8 r in
+          let modes = list r mode_of_tag in
+          finish r (Hello { version; modes })
+      | 2 -> finish r (Pir_query { dpf_key = str r })
+      | 3 -> finish r (Pir_batch { dpf_keys = list r str })
+      | 4 -> finish r (Enclave_get { key = str r })
+      | 5 -> finish r Bye
+      | t -> raise (Decode (Printf.sprintf "unknown client tag %d" t)))
+    s
+
+(* ---- server messages ---- *)
+
+let encode_server msg =
+  let buf = Buffer.create 64 in
+  (match msg with
+  | Welcome { version; mode; domain_bits; blob_size; hash_key; server_id } ->
+      add_u8 buf 1;
+      add_u8 buf version;
+      add_u8 buf (Zltp_mode.to_tag mode);
+      add_u8 buf domain_bits;
+      add_u32 buf blob_size;
+      add_str buf hash_key;
+      add_str buf server_id
+  | Answer { share } ->
+      add_u8 buf 2;
+      add_str buf share
+  | Batch_answer { shares } ->
+      add_u8 buf 3;
+      add_list buf shares add_str
+  | Enclave_answer { value } -> (
+      add_u8 buf 4;
+      match value with
+      | None -> add_u8 buf 0
+      | Some v ->
+          add_u8 buf 1;
+          add_str buf v)
+  | Err { code; message } ->
+      add_u8 buf 5;
+      add_u8 buf code;
+      add_str buf message);
+  Buffer.contents buf
+
+let decode_server s =
+  run_decoder
+    (fun r ->
+      match u8 r with
+      | 1 ->
+          let version = u8 r in
+          let mode = mode_of_tag r in
+          let domain_bits = u8 r in
+          let blob_size = u32 r in
+          let hash_key = str r in
+          let server_id = str r in
+          finish r (Welcome { version; mode; domain_bits; blob_size; hash_key; server_id })
+      | 2 -> finish r (Answer { share = str r })
+      | 3 -> finish r (Batch_answer { shares = list r str })
+      | 4 -> (
+          match u8 r with
+          | 0 -> finish r (Enclave_answer { value = None })
+          | 1 -> finish r (Enclave_answer { value = Some (str r) })
+          | _ -> raise (Decode "bad option tag"))
+      | 5 ->
+          let code = u8 r in
+          let message = str r in
+          finish r (Err { code; message })
+      | t -> raise (Decode (Printf.sprintf "unknown server tag %d" t)))
+    s

@@ -1,0 +1,43 @@
+(** The ZLTP wire protocol: message types and binary codec.
+
+    A session opens with [Hello]/[Welcome] (parameter discovery + mode
+    negotiation, §2), then carries private-GET exchanges. PIR-mode queries
+    carry a serialised DPF key share; enclave-mode queries carry the
+    request key itself, which in a real deployment travels inside the
+    attested TLS channel that terminates {e inside} the enclave — the
+    untrusted host never sees it. *)
+
+type client_msg =
+  | Hello of { version : int; modes : Zltp_mode.t list }
+  | Pir_query of { dpf_key : string }
+  | Pir_batch of { dpf_keys : string list }
+  | Enclave_get of { key : string }
+  | Bye
+
+type server_msg =
+  | Welcome of {
+      version : int;
+      mode : Zltp_mode.t;
+      domain_bits : int;
+      blob_size : int;
+      hash_key : string; (** keyword→index SipHash key (public) *)
+      server_id : string;
+    }
+  | Answer of { share : string }
+  | Batch_answer of { shares : string list }
+  | Enclave_answer of { value : string option }
+  | Err of { code : int; message : string }
+
+val protocol_version : int
+
+(** Error codes carried by [Err]. *)
+
+val err_not_negotiated : int
+val err_bad_request : int
+val err_wrong_mode : int
+val err_internal : int
+
+val encode_client : client_msg -> string
+val decode_client : string -> (client_msg, string) result
+val encode_server : server_msg -> string
+val decode_server : string -> (server_msg, string) result

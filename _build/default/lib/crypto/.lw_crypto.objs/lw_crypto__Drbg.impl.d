@@ -1,0 +1,1 @@
+lib/crypto/drbg.ml: Bytes Chacha20 Hashtbl Int64 Printf Sha256 String Sys Unix

@@ -1,0 +1,1 @@
+lib/crypto/x25519.ml: Array Bytes Char Drbg Lw_util String

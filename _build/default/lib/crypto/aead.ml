@@ -1,0 +1,46 @@
+let key_len = 32
+let nonce_len = 12
+let tag_len = 16
+
+let poly_key ~key ~nonce =
+  let block = Bytes.create Chacha20.block_len in
+  Chacha20.block ~key ~nonce ~counter:0l block;
+  Bytes.sub_string block 0 32
+
+let pad16 buf n =
+  let r = n mod 16 in
+  if r <> 0 then Buffer.add_string buf (String.make (16 - r) '\x00')
+
+let le64 n =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int n);
+  Bytes.unsafe_to_string b
+
+let compute_tag ~key ~nonce ~aad ct =
+  let otk = poly_key ~key ~nonce in
+  let buf = Buffer.create (String.length aad + String.length ct + 48) in
+  Buffer.add_string buf aad;
+  pad16 buf (String.length aad);
+  Buffer.add_string buf ct;
+  pad16 buf (String.length ct);
+  Buffer.add_string buf (le64 (String.length aad));
+  Buffer.add_string buf (le64 (String.length ct));
+  Poly1305.mac ~key:otk (Buffer.contents buf)
+
+let seal ~key ~nonce ?(aad = "") pt =
+  if String.length key <> key_len then invalid_arg "Aead.seal: key must be 32 bytes";
+  if String.length nonce <> nonce_len then invalid_arg "Aead.seal: nonce must be 12 bytes";
+  let ct = Chacha20.encrypt ~key ~nonce ~counter:1l pt in
+  ct ^ compute_tag ~key ~nonce ~aad ct
+
+let open_ ~key ~nonce ?(aad = "") ct_and_tag =
+  if String.length key <> key_len then invalid_arg "Aead.open_: key must be 32 bytes";
+  if String.length nonce <> nonce_len then invalid_arg "Aead.open_: nonce must be 12 bytes";
+  let n = String.length ct_and_tag in
+  if n < tag_len then None
+  else begin
+    let ct = String.sub ct_and_tag 0 (n - tag_len) in
+    let tag = String.sub ct_and_tag (n - tag_len) tag_len in
+    let expected = compute_tag ~key ~nonce ~aad ct in
+    if Ct.equal tag expected then Some (Chacha20.encrypt ~key ~nonce ~counter:1l ct) else None
+  end

@@ -1,0 +1,157 @@
+(* GF(2^8) arithmetic with the AES polynomial x^8+x^4+x^3+x+1 (0x11b). *)
+
+let xtime b =
+  let b2 = b lsl 1 in
+  if b2 land 0x100 <> 0 then (b2 lxor 0x11b) land 0xff else b2
+
+let gf_mul a b =
+  let rec go a b acc =
+    if b = 0 then acc
+    else begin
+      let acc = if b land 1 <> 0 then acc lxor a else acc in
+      go (xtime a) (b lsr 1) acc
+    end
+  in
+  go a b 0
+
+(* S-box: multiplicative inverse followed by the affine transform. *)
+let sbox =
+  let inv = Array.make 256 0 in
+  (* brute-force inverses; 256x256 is trivial at init time *)
+  for a = 1 to 255 do
+    for b = 1 to 255 do
+      if gf_mul a b = 1 then inv.(a) <- b
+    done
+  done;
+  let affine x =
+    let rot x k = ((x lsl k) lor (x lsr (8 - k))) land 0xff in
+    x lxor rot x 1 lxor rot x 2 lxor rot x 3 lxor rot x 4 lxor 0x63
+  in
+  Array.init 256 (fun i -> affine inv.(i))
+
+(* T-tables: te0.(x) = [S(x)*2, S(x), S(x), S(x)*3] packed big-endian into
+   an int32; te1..te3 are byte rotations of te0. *)
+let pack a b c d =
+  Int32.logor
+    (Int32.shift_left (Int32.of_int a) 24)
+    (Int32.logor
+       (Int32.shift_left (Int32.of_int b) 16)
+       (Int32.logor (Int32.shift_left (Int32.of_int c) 8) (Int32.of_int d)))
+
+let te0 = Array.init 256 (fun i ->
+    let s = sbox.(i) in
+    pack (gf_mul s 2) s s (gf_mul s 3))
+
+let rotr32_8 x =
+  Int32.logor (Int32.shift_right_logical x 8) (Int32.shift_left x 24)
+
+let te1 = Array.map rotr32_8 te0
+let te2 = Array.map rotr32_8 te1
+let te3 = Array.map rotr32_8 te2
+
+type key = int32 array
+(* 44 round words for AES-128 (10 rounds + initial whitening). *)
+
+let sub_word w =
+  let b k = Int32.to_int (Int32.shift_right_logical w k) land 0xff in
+  pack sbox.(b 24) sbox.(b 16) sbox.(b 8) sbox.(b 0)
+
+let rot_word w =
+  Int32.logor (Int32.shift_left w 8) (Int32.shift_right_logical w 24)
+
+let rcon =
+  let r = Array.make 11 0 in
+  r.(1) <- 1;
+  for i = 2 to 10 do
+    r.(i) <- xtime r.(i - 1)
+  done;
+  r
+
+let expand_key k =
+  if String.length k <> 16 then invalid_arg "Aes128.expand_key: key must be 16 bytes";
+  let w = Array.make 44 0l in
+  for i = 0 to 3 do
+    w.(i) <- pack (Char.code k.[4 * i]) (Char.code k.[(4 * i) + 1])
+        (Char.code k.[(4 * i) + 2]) (Char.code k.[(4 * i) + 3])
+  done;
+  for i = 4 to 43 do
+    let temp = w.(i - 1) in
+    let temp =
+      if i mod 4 = 0 then
+        Int32.logxor (sub_word (rot_word temp)) (Int32.shift_left (Int32.of_int rcon.(i / 4)) 24)
+      else temp
+    in
+    w.(i) <- Int32.logxor w.(i - 4) temp
+  done;
+  w
+
+let byte32 x k = Int32.to_int (Int32.shift_right_logical x k) land 0xff
+
+let get32_be b off =
+  let g i = Int32.of_int (Char.code (Bytes.unsafe_get b (off + i))) in
+  Int32.logor
+    (Int32.shift_left (g 0) 24)
+    (Int32.logor (Int32.shift_left (g 1) 16) (Int32.logor (Int32.shift_left (g 2) 8) (g 3)))
+
+let set32_be b off v =
+  Bytes.unsafe_set b off (Char.unsafe_chr (byte32 v 24));
+  Bytes.unsafe_set b (off + 1) (Char.unsafe_chr (byte32 v 16));
+  Bytes.unsafe_set b (off + 2) (Char.unsafe_chr (byte32 v 8));
+  Bytes.unsafe_set b (off + 3) (Char.unsafe_chr (byte32 v 0))
+
+let encrypt_block_into w ~src ~src_pos ~dst ~dst_pos =
+  let ( ^! ) = Int32.logxor in
+  let s0 = ref (get32_be src src_pos ^! w.(0))
+  and s1 = ref (get32_be src (src_pos + 4) ^! w.(1))
+  and s2 = ref (get32_be src (src_pos + 8) ^! w.(2))
+  and s3 = ref (get32_be src (src_pos + 12) ^! w.(3)) in
+  for round = 1 to 9 do
+    let t0 =
+      te0.(byte32 !s0 24) ^! te1.(byte32 !s1 16) ^! te2.(byte32 !s2 8)
+      ^! te3.(byte32 !s3 0) ^! w.(4 * round)
+    and t1 =
+      te0.(byte32 !s1 24) ^! te1.(byte32 !s2 16) ^! te2.(byte32 !s3 8)
+      ^! te3.(byte32 !s0 0) ^! w.((4 * round) + 1)
+    and t2 =
+      te0.(byte32 !s2 24) ^! te1.(byte32 !s3 16) ^! te2.(byte32 !s0 8)
+      ^! te3.(byte32 !s1 0) ^! w.((4 * round) + 2)
+    and t3 =
+      te0.(byte32 !s3 24) ^! te1.(byte32 !s0 16) ^! te2.(byte32 !s1 8)
+      ^! te3.(byte32 !s2 0) ^! w.((4 * round) + 3)
+    in
+    s0 := t0;
+    s1 := t1;
+    s2 := t2;
+    s3 := t3
+  done;
+  (* final round: SubBytes + ShiftRows, no MixColumns *)
+  let final a b c d rk =
+    pack sbox.(byte32 a 24) sbox.(byte32 b 16) sbox.(byte32 c 8) sbox.(byte32 d 0) ^! rk
+  in
+  set32_be dst dst_pos (final !s0 !s1 !s2 !s3 w.(40));
+  set32_be dst (dst_pos + 4) (final !s1 !s2 !s3 !s0 w.(41));
+  set32_be dst (dst_pos + 8) (final !s2 !s3 !s0 !s1 w.(42));
+  set32_be dst (dst_pos + 12) (final !s3 !s0 !s1 !s2 w.(43))
+
+let encrypt_block w block =
+  if String.length block <> 16 then invalid_arg "Aes128.encrypt_block: block must be 16 bytes";
+  let dst = Bytes.create 16 in
+  encrypt_block_into w ~src:(Bytes.unsafe_of_string block) ~src_pos:0 ~dst ~dst_pos:0;
+  dst |> Bytes.unsafe_to_string
+
+let mmo_fixed_key = expand_key (String.sub "lightweb-mmo-key!" 0 16)
+
+let mmo_hash_into w ~tweak ~src ~src_pos ~dst ~dst_pos =
+  (* dst := AES(src ^ tweak) ^ (src ^ tweak), tweak folded into byte 0 *)
+  let x0 = Bytes.get src src_pos in
+  Bytes.set src src_pos (Char.chr (Char.code x0 lxor (tweak land 0xff)));
+  encrypt_block_into w ~src ~src_pos ~dst ~dst_pos;
+  Lw_util.Xorbuf.xor_into ~src ~src_pos ~dst ~dst_pos ~len:16;
+  Bytes.set src src_pos x0
+
+let mmo_hash w ~tweak s =
+  if String.length s <> 16 then invalid_arg "Aes128.mmo_hash: input must be 16 bytes";
+  let x = Bytes.of_string s in
+  let out = Bytes.create 16 in
+  mmo_hash_into w ~tweak ~src:x ~src_pos:0 ~dst:out ~dst_pos:0;
+  Bytes.unsafe_to_string out

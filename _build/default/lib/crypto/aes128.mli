@@ -1,0 +1,37 @@
+(** AES-128 block cipher (FIPS-197), encryption direction only.
+
+    The DPF uses AES as a fixed-key hash (Matyas–Meyer–Oseas) to mirror the
+    AES-NI construction in the paper's C++ prototype, so only the forward
+    permutation is required. The implementation is the classic 32-bit
+    T-table formulation; the S-box and tables are derived from the GF(2^8)
+    arithmetic at module initialisation rather than embedded as literals. *)
+
+type key
+(** An expanded 128-bit key schedule. *)
+
+val expand_key : string -> key
+(** [expand_key k] expands a 16-byte key. Raises [Invalid_argument]
+    otherwise. *)
+
+val encrypt_block : key -> string -> string
+(** [encrypt_block k block] encrypts one 16-byte block. *)
+
+val encrypt_block_into : key -> src:Bytes.t -> src_pos:int -> dst:Bytes.t -> dst_pos:int -> unit
+(** Allocation-free variant used inside the DPF hot loop. *)
+
+val mmo_fixed_key : key
+(** The fixed key (the AES-128 expansion of the bytes of pi used by
+    standard FSS implementations is not canonical; we fix the expansion of
+    ["lightweb-mmo-key!"] truncated to 16 bytes) backing {!mmo_hash}. *)
+
+val mmo_hash_into :
+  key -> tweak:int -> src:Bytes.t -> src_pos:int -> dst:Bytes.t -> dst_pos:int -> unit
+(** Allocation-free {!mmo_hash} over 16-byte regions; [src] and [dst]
+    regions must not overlap. Used by the DPF tree expansion, which is the
+    hottest loop in the system. *)
+
+val mmo_hash : key -> tweak:int -> string -> string
+(** [mmo_hash k ~tweak s] is the Matyas–Meyer–Oseas compression
+    [AES_k(s XOR t) XOR (s XOR t)] where [t] encodes [tweak] in the first
+    byte; [s] must be 16 bytes. Used as the DPF length-doubling PRG:
+    [G(s) = mmo 0 s || mmo 1 s || ...]. *)

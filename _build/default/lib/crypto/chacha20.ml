@@ -1,0 +1,95 @@
+let key_len = 32
+let nonce_len = 12
+let block_len = 64
+
+let ( +% ) = Int32.add
+let ( ^% ) = Int32.logxor
+let rotl = Lw_util.Bitops.rotl32
+
+(* The ChaCha state is 16 32-bit words:
+     0..3   constants "expa" "nd 3" "2-by" "te k"
+     4..11  key
+     12     counter
+     13..15 nonce *)
+let sigma0 = 0x61707865l
+let sigma1 = 0x3320646el
+let sigma2 = 0x79622d32l
+let sigma3 = 0x6b206574l
+
+let quarter_round st a b c d =
+  st.(a) <- st.(a) +% st.(b);
+  st.(d) <- rotl (st.(d) ^% st.(a)) 16;
+  st.(c) <- st.(c) +% st.(d);
+  st.(b) <- rotl (st.(b) ^% st.(c)) 12;
+  st.(a) <- st.(a) +% st.(b);
+  st.(d) <- rotl (st.(d) ^% st.(a)) 8;
+  st.(c) <- st.(c) +% st.(d);
+  st.(b) <- rotl (st.(b) ^% st.(c)) 7
+
+let double_round st =
+  quarter_round st 0 4 8 12;
+  quarter_round st 1 5 9 13;
+  quarter_round st 2 6 10 14;
+  quarter_round st 3 7 11 15;
+  quarter_round st 0 5 10 15;
+  quarter_round st 1 6 11 12;
+  quarter_round st 2 7 8 13;
+  quarter_round st 3 4 9 14
+
+let load32 s off =
+  let b i = Int32.of_int (Char.code (String.unsafe_get s (off + i))) in
+  Int32.logor (b 0)
+    (Int32.logor
+       (Int32.shift_left (b 1) 8)
+       (Int32.logor (Int32.shift_left (b 2) 16) (Int32.shift_left (b 3) 24)))
+
+let init_state ~key ~nonce ~counter =
+  let st = Array.make 16 0l in
+  st.(0) <- sigma0;
+  st.(1) <- sigma1;
+  st.(2) <- sigma2;
+  st.(3) <- sigma3;
+  for i = 0 to 7 do
+    st.(4 + i) <- load32 key (4 * i)
+  done;
+  st.(12) <- counter;
+  for i = 0 to 2 do
+    st.(13 + i) <- load32 nonce (4 * i)
+  done;
+  st
+
+let block ?(rounds = 20) ~key ~nonce ~counter out =
+  if String.length key <> key_len then invalid_arg "Chacha20.block: key must be 32 bytes";
+  if String.length nonce <> nonce_len then invalid_arg "Chacha20.block: nonce must be 12 bytes";
+  if Bytes.length out < block_len then invalid_arg "Chacha20.block: output too small";
+  if rounds <= 0 || rounds mod 2 <> 0 then invalid_arg "Chacha20.block: rounds must be even";
+  let init = init_state ~key ~nonce ~counter in
+  let st = Array.copy init in
+  for _ = 1 to rounds / 2 do
+    double_round st
+  done;
+  for i = 0 to 15 do
+    Bytes.set_int32_le out (4 * i) (st.(i) +% init.(i))
+  done
+
+let encrypt ?(rounds = 20) ~key ~nonce ?(counter = 0l) msg =
+  let n = String.length msg in
+  let out = Bytes.of_string msg in
+  let ks = Bytes.create block_len in
+  let blocks = (n + block_len - 1) / block_len in
+  for b = 0 to blocks - 1 do
+    block ~rounds ~key ~nonce ~counter:(Int32.add counter (Int32.of_int b)) ks;
+    let off = b * block_len in
+    let len = min block_len (n - off) in
+    Lw_util.Xorbuf.xor_into ~src:ks ~src_pos:0 ~dst:out ~dst_pos:off ~len
+  done;
+  Bytes.unsafe_to_string out
+
+let zero_nonce = String.make nonce_len '\x00'
+
+let expand_double ?(rounds = 20) seed =
+  if String.length seed <> key_len then
+    invalid_arg "Chacha20.expand_double: seed must be 32 bytes";
+  let out = Bytes.create block_len in
+  block ~rounds ~key:seed ~nonce:zero_nonce ~counter:0l out;
+  (Bytes.sub_string out 0 32, Bytes.sub_string out 32 32)

@@ -1,0 +1,30 @@
+(** ChaCha20 stream cipher (RFC 8439), plus reduced-round variants.
+
+    The DPF tree expansion is PRG-bound, so {!block} is also exposed with a
+    configurable round count: ChaCha8/12 remain unbroken and run ~2x faster
+    in pure OCaml, which matters for the linear-scan benchmarks. *)
+
+val key_len : int
+(** 32 bytes. *)
+
+val nonce_len : int
+(** 12 bytes. *)
+
+val block_len : int
+(** 64 bytes. *)
+
+val block : ?rounds:int -> key:string -> nonce:string -> counter:int32 -> Bytes.t -> unit
+(** [block ~key ~nonce ~counter out] writes one 64-byte keystream block
+    into [out] (which must be at least 64 bytes). [rounds] defaults to 20
+    and must be a positive even number. Raises [Invalid_argument] on bad
+    key/nonce/output sizes. *)
+
+val encrypt : ?rounds:int -> key:string -> nonce:string -> ?counter:int32 -> string -> string
+(** [encrypt ~key ~nonce msg] XORs [msg] with the keystream starting at
+    block [counter] (default 0). Encryption and decryption are the same
+    operation. *)
+
+val expand_double : ?rounds:int -> string -> string * string
+(** [expand_double seed] is the length-doubling PRG used by the GGM tree:
+    a 32-byte seed expands to two 32-byte seeds via a single keystream
+    block keyed by [seed] with a zero nonce. *)

@@ -1,0 +1,16 @@
+let equal a b =
+  String.length a = String.length b
+  && begin
+       let acc = ref 0 in
+       for i = 0 to String.length a - 1 do
+         acc := !acc lor (Char.code a.[i] lxor Char.code b.[i])
+       done;
+       !acc = 0
+     end
+
+let select cond a b =
+  if String.length a <> String.length b then invalid_arg "Ct.select: length mismatch";
+  let mask = if cond then 0xff else 0 in
+  String.init (String.length a) (fun i ->
+      Char.chr
+        ((Char.code a.[i] land mask) lor (Char.code b.[i] land (lnot mask land 0xff))))

@@ -1,0 +1,9 @@
+(** Constant-time byte-string operations. *)
+
+val equal : string -> string -> bool
+(** [equal a b] compares without early exit; strings of different lengths
+    compare unequal (length is not secret). *)
+
+val select : bool -> string -> string -> string
+(** [select cond a b] is [a] when [cond] else [b], reading both. Lengths
+    must match. *)

@@ -1,0 +1,42 @@
+type t = { mutable key : string; mutable counter : int64 }
+
+let create ~seed = { key = Sha256.digest ("lightweb-drbg-v1" ^ seed); counter = 0L }
+
+let system () =
+  let entropy =
+    try
+      let ic = open_in_bin "/dev/urandom" in
+      let buf = really_input_string ic 32 in
+      close_in ic;
+      buf
+    with Sys_error _ | End_of_file ->
+      Printf.sprintf "%f|%d|%d" (Unix.gettimeofday ()) (Unix.getpid ()) (Hashtbl.hash (Sys.argv))
+  in
+  create ~seed:entropy
+
+let nonce_of_counter c =
+  let b = Bytes.make Chacha20.nonce_len '\x00' in
+  Bytes.set_int64_le b 0 c;
+  Bytes.unsafe_to_string b
+
+let generate t n =
+  if n < 0 then invalid_arg "Drbg.generate: negative length";
+  let nonce = nonce_of_counter t.counter in
+  t.counter <- Int64.add t.counter 1L;
+  (* one extra block becomes the next key: a simple ratchet *)
+  let total = n + 32 in
+  let out = Chacha20.encrypt ~key:t.key ~nonce (String.make total '\x00') in
+  t.key <- String.sub out n 32;
+  String.sub out 0 n
+
+let uniform_int t bound =
+  if bound <= 0 then invalid_arg "Drbg.uniform_int: bound must be positive";
+  let rec go () =
+    let raw = generate t 8 in
+    let v = Int64.to_int (Int64.shift_right_logical (Bytes.get_int64_le (Bytes.of_string raw) 0) 2) in
+    let r = v mod bound in
+    if v - r + (bound - 1) < 0 then go () else r
+  in
+  go ()
+
+let reseed t entropy = t.key <- Sha256.digest (t.key ^ entropy)

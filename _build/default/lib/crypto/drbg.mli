@@ -1,0 +1,27 @@
+(** A deterministic random bit generator built on the ChaCha20 keystream,
+    with forward secrecy via key ratcheting.
+
+    This is the protocol stack's source of key material (DPF randomness,
+    AEAD nonces, session ids). Seed it from the OS for real use, or from a
+    fixed string for reproducible tests. *)
+
+type t
+
+val create : seed:string -> t
+(** [create ~seed] derives the initial key from [seed] with SHA-256; any
+    seed length is accepted. *)
+
+val system : unit -> t
+(** [system ()] seeds from [/dev/urandom]; falls back to a time/pid mix if
+    the device is unavailable (e.g. exotic sandboxes). *)
+
+val generate : t -> int -> string
+(** [generate t n] produces [n] pseudorandom bytes and ratchets the key, so
+    compromise of the current state does not reveal past output. *)
+
+val uniform_int : t -> int -> int
+(** [uniform_int t bound] is uniform in [[0, bound)] without modulo bias.
+    Requires [bound > 0]. *)
+
+val reseed : t -> string -> unit
+(** [reseed t entropy] mixes additional entropy into the state. *)

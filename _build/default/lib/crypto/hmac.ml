@@ -1,0 +1,40 @@
+let block_size = 64
+
+let pad_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let padded = Bytes.make block_size '\x00' in
+  Bytes.blit_string key 0 padded 0 (String.length key);
+  padded
+
+let hmac_sha256 ~key msg =
+  let padded = pad_key key in
+  let with_byte b =
+    String.init block_size (fun i -> Char.chr (Char.code (Bytes.get padded i) lxor b))
+  in
+  let ipad = with_byte 0x36 and opad = with_byte 0x5c in
+  let inner = Sha256.init () in
+  Sha256.update inner ipad;
+  Sha256.update inner msg;
+  let outer = Sha256.init () in
+  Sha256.update outer opad;
+  Sha256.update outer (Sha256.final inner);
+  Sha256.final outer
+
+let hkdf_extract ?salt ikm =
+  let salt = match salt with Some s -> s | None -> String.make 32 '\x00' in
+  hmac_sha256 ~key:salt ikm
+
+let hkdf_expand ~prk ~info ~len =
+  if len < 0 || len > 255 * 32 then invalid_arg "Hmac.hkdf_expand: bad length";
+  let buf = Buffer.create len in
+  let rec go prev counter =
+    if Buffer.length buf < len then begin
+      let block = hmac_sha256 ~key:prk (prev ^ info ^ String.make 1 (Char.chr counter)) in
+      Buffer.add_string buf block;
+      go block (counter + 1)
+    end
+  in
+  go "" 1;
+  String.sub (Buffer.contents buf) 0 len
+
+let hkdf ?salt ~info ~len ikm = hkdf_expand ~prk:(hkdf_extract ?salt ikm) ~info ~len

@@ -1,0 +1,8 @@
+(** Poly1305 one-time authenticator (RFC 8439). *)
+
+val tag_len : int
+(** 16 bytes. *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] computes the 16-byte tag; [key] is the 32-byte one-time
+    key (r || s). Raises [Invalid_argument] on a bad key length. *)

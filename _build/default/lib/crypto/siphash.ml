@@ -1,0 +1,70 @@
+let rotl = Lw_util.Bitops.rotl64
+let ( +% ) = Int64.add
+let ( ^% ) = Int64.logxor
+
+type state = { mutable v0 : int64; mutable v1 : int64; mutable v2 : int64; mutable v3 : int64 }
+
+let sipround st =
+  st.v0 <- st.v0 +% st.v1;
+  st.v1 <- rotl st.v1 13;
+  st.v1 <- st.v1 ^% st.v0;
+  st.v0 <- rotl st.v0 32;
+  st.v2 <- st.v2 +% st.v3;
+  st.v3 <- rotl st.v3 16;
+  st.v3 <- st.v3 ^% st.v2;
+  st.v0 <- st.v0 +% st.v3;
+  st.v3 <- rotl st.v3 21;
+  st.v3 <- st.v3 ^% st.v0;
+  st.v2 <- st.v2 +% st.v1;
+  st.v1 <- rotl st.v1 17;
+  st.v1 <- st.v1 ^% st.v2;
+  st.v2 <- rotl st.v2 32
+
+let load64_le s off =
+  let b i = Int64.of_int (Char.code s.[off + i]) in
+  let r = ref 0L in
+  for i = 7 downto 0 do
+    r := Int64.logor (Int64.shift_left !r 8) (b i)
+  done;
+  !r
+
+let hash ~key msg =
+  if String.length key <> 16 then invalid_arg "Siphash.hash: key must be 16 bytes";
+  let k0 = load64_le key 0 and k1 = load64_le key 8 in
+  let st =
+    {
+      v0 = k0 ^% 0x736f6d6570736575L;
+      v1 = k1 ^% 0x646f72616e646f6dL;
+      v2 = k0 ^% 0x6c7967656e657261L;
+      v3 = k1 ^% 0x7465646279746573L;
+    }
+  in
+  let n = String.length msg in
+  let full = n / 8 in
+  for i = 0 to full - 1 do
+    let m = load64_le msg (8 * i) in
+    st.v3 <- st.v3 ^% m;
+    sipround st;
+    sipround st;
+    st.v0 <- st.v0 ^% m
+  done;
+  (* final block: remaining bytes plus the length byte in the top position *)
+  let last = ref (Int64.shift_left (Int64.of_int (n land 0xff)) 56) in
+  for i = 0 to (n mod 8) - 1 do
+    last := Int64.logor !last (Int64.shift_left (Int64.of_int (Char.code msg.[(8 * full) + i])) (8 * i))
+  done;
+  st.v3 <- st.v3 ^% !last;
+  sipround st;
+  sipround st;
+  st.v0 <- st.v0 ^% !last;
+  st.v2 <- st.v2 ^% 0xffL;
+  sipround st;
+  sipround st;
+  sipround st;
+  sipround st;
+  st.v0 ^% st.v1 ^% st.v2 ^% st.v3
+
+let to_domain ~key ~domain_bits msg =
+  if domain_bits < 1 || domain_bits > 62 then invalid_arg "Siphash.to_domain: bad domain_bits";
+  let h = hash ~key msg in
+  Int64.to_int (Int64.shift_right_logical h (64 - domain_bits))

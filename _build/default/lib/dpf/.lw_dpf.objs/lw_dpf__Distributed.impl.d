@@ -1,0 +1,1 @@
+lib/dpf/distributed.ml: Array Dpf

@@ -1,0 +1,1 @@
+lib/dpf/distributed.mli: Dpf

@@ -1,0 +1,1 @@
+lib/dpf/dpf.ml: Array Buffer Bytes Char Int32 List Lw_crypto Lw_util Prg String

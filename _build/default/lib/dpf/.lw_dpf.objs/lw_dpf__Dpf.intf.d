@@ -1,0 +1,1 @@
+lib/dpf/dpf.mli: Bytes Lw_crypto Prg

@@ -1,0 +1,1 @@
+lib/dpf/idpf.ml: Array Bytes Char Int64 Lw_crypto Lw_util Prg String

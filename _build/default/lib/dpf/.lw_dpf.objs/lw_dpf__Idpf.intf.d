@@ -1,0 +1,1 @@
+lib/dpf/idpf.mli: Lw_crypto Prg

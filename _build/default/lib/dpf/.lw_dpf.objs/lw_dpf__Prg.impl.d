@@ -1,0 +1,1 @@
+lib/dpf/prg.ml: Bytes Char Lw_crypto Printf String

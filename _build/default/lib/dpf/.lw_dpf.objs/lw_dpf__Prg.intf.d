@@ -1,0 +1,1 @@
+lib/dpf/prg.mli: Bytes

@@ -1,0 +1,258 @@
+type key = {
+  party : int;
+  domain_bits : int; (* depth of the remaining tree *)
+  value_len : int; (* 0 = selection-bit DPF *)
+  prg : Prg.t;
+  root_seed : Bytes.t; (* 16 bytes *)
+  root_t : int; (* control bit at the root (= party for fresh keys) *)
+  cw_seeds : Bytes.t; (* full correction words, 16 bytes per level *)
+  cw_bits : Bytes.t; (* 1 byte per level: tl lor (tr lsl 1) *)
+  cw_offset : int; (* first level of cw_seeds/cw_bits that applies: sub-keys
+                      produced by [make_subkey] share the parent arrays *)
+  cw_leaf : string; (* value_len bytes, "" for selection-bit keys *)
+}
+
+let party k = k.party
+let domain_bits k = k.domain_bits
+let value_len k = k.value_len
+let prg k = k.prg
+
+let max_domain_bits = 30
+
+let cw_seed_pos k level = 16 * (k.cw_offset + level)
+let cw_bit k level = Char.code (Bytes.get k.cw_bits (k.cw_offset + level))
+
+(* ------------------------------------------------------------------ *)
+(* Key generation                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let gen ?(prg = Prg.default) ?value ~domain_bits ~alpha rng =
+  if domain_bits < 1 || domain_bits > max_domain_bits then
+    invalid_arg "Dpf.gen: domain_bits out of range";
+  if alpha < 0 || alpha >= 1 lsl domain_bits then invalid_arg "Dpf.gen: alpha out of domain";
+  let value_len = match value with None -> 0 | Some v -> String.length v in
+  let d = domain_bits in
+  let s0 = Bytes.of_string (Lw_crypto.Drbg.generate rng 16) in
+  let s1 = Bytes.of_string (Lw_crypto.Drbg.generate rng 16) in
+  (* seeds keep their low bit of byte 15 clear, matching PRG outputs *)
+  let clear_low b = Bytes.set b 15 (Char.chr (Char.code (Bytes.get b 15) land 0xfe)) in
+  clear_low s0;
+  clear_low s1;
+  let root0 = Bytes.copy s0 and root1 = Bytes.copy s1 in
+  let t0 = ref 0 and t1 = ref 1 in
+  let cw_seeds = Bytes.create (16 * d) in
+  let cw_bits = Bytes.create d in
+  let c0 = Bytes.create 32 and c1 = Bytes.create 32 in
+  for level = 0 to d - 1 do
+    let bits0 = Prg.expand_into prg ~src:s0 ~src_pos:0 ~dst:c0 ~dst_pos:0 in
+    let bits1 = Prg.expand_into prg ~src:s1 ~src_pos:0 ~dst:c1 ~dst_pos:0 in
+    let tl0 = bits0 land 1 and tr0 = bits0 lsr 1 in
+    let tl1 = bits1 land 1 and tr1 = bits1 lsr 1 in
+    let alpha_bit = Lw_util.Bitops.bit_msb alpha ~width:d level in
+    (* keep = the child alpha descends into; lose = the other *)
+    let keep_off = if alpha_bit = 0 then 0 else 16 in
+    let lose_off = 16 - keep_off in
+    for i = 0 to 15 do
+      Bytes.set cw_seeds ((16 * level) + i)
+        (Char.unsafe_chr
+           (Char.code (Bytes.get c0 (lose_off + i)) lxor Char.code (Bytes.get c1 (lose_off + i))))
+    done;
+    let tl_cw = tl0 lxor tl1 lxor alpha_bit lxor 1 in
+    let tr_cw = tr0 lxor tr1 lxor alpha_bit in
+    Bytes.set cw_bits level (Char.chr (tl_cw lor (tr_cw lsl 1)));
+    let tkeep_cw = if alpha_bit = 0 then tl_cw else tr_cw in
+    let step s c t tkeep =
+      Bytes.blit c keep_off s 0 16;
+      if t = 1 then
+        Lw_util.Xorbuf.xor_into ~src:cw_seeds ~src_pos:(16 * level) ~dst:s ~dst_pos:0 ~len:16;
+      tkeep lxor (t land tkeep_cw)
+    in
+    let tkeep0 = if alpha_bit = 0 then tl0 else tr0 in
+    let tkeep1 = if alpha_bit = 0 then tl1 else tr1 in
+    let t0' = step s0 c0 !t0 tkeep0 in
+    let t1' = step s1 c1 !t1 tkeep1 in
+    t0 := t0';
+    t1 := t1'
+  done;
+  let cw_leaf =
+    match value with
+    | None -> ""
+    | Some v ->
+        let conv s = Prg.convert prg ~seed:s ~pos:0 ~len:value_len in
+        Lw_util.Xorbuf.xor (Lw_util.Xorbuf.xor v (conv s0)) (conv s1)
+  in
+  let mk party root_seed =
+    {
+      party;
+      domain_bits = d;
+      value_len;
+      prg;
+      root_seed;
+      root_t = party;
+      cw_seeds;
+      cw_bits;
+      cw_offset = 0;
+      cw_leaf;
+    }
+  in
+  (mk 0 root0, mk 1 root1)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Expand the node at [seed]/[t] one level; children (with corrections
+   applied) land in [children]; returns corrected (tl lor (tr lsl 1)). *)
+let expand_node k ~level ~seed ~seed_pos ~t ~children =
+  let bits = Prg.expand_into k.prg ~src:seed ~src_pos:seed_pos ~dst:children ~dst_pos:0 in
+  if t = 1 then begin
+    let pos = cw_seed_pos k level in
+    Lw_util.Xorbuf.xor_into ~src:k.cw_seeds ~src_pos:pos ~dst:children ~dst_pos:0 ~len:16;
+    Lw_util.Xorbuf.xor_into ~src:k.cw_seeds ~src_pos:pos ~dst:children ~dst_pos:16 ~len:16;
+    bits lxor cw_bit k level
+  end
+  else bits
+
+let eval_leaf_state k x =
+  if x < 0 || x >= 1 lsl k.domain_bits then invalid_arg "Dpf.eval: index out of domain";
+  let seed = Bytes.copy k.root_seed in
+  let children = Bytes.create 32 in
+  let t = ref k.root_t in
+  for level = 0 to k.domain_bits - 1 do
+    let bits = expand_node k ~level ~seed ~seed_pos:0 ~t:!t ~children in
+    let b = Lw_util.Bitops.bit_msb x ~width:k.domain_bits level in
+    Bytes.blit children (16 * b) seed 0 16;
+    t := (bits lsr b) land 1
+  done;
+  (seed, !t)
+
+let eval_bit k x =
+  let _, t = eval_leaf_state k x in
+  t
+
+let eval_value k x =
+  if k.value_len = 0 then invalid_arg "Dpf.eval_value: selection-bit key";
+  let seed, t = eval_leaf_state k x in
+  let share = Prg.convert k.prg ~seed ~pos:0 ~len:k.value_len in
+  if t = 1 then Lw_util.Xorbuf.xor share k.cw_leaf else share
+
+(* Depth-first full expansion. Each recursion level owns a preallocated
+   32-byte children buffer, so no allocation happens per node. *)
+let eval_depth k ~depth f =
+  let bufs = Array.init (depth + 1) (fun _ -> Bytes.create 32) in
+  let rec go level seed_buf seed_pos index t =
+    if level = depth then f index t seed_buf seed_pos
+    else begin
+      let children = bufs.(level) in
+      let bits = expand_node k ~level ~seed:seed_buf ~seed_pos ~t ~children in
+      go (level + 1) children 0 (2 * index) (bits land 1);
+      go (level + 1) children 16 ((2 * index) + 1) (bits lsr 1)
+    end
+  in
+  go 0 (Bytes.copy k.root_seed) 0 0 k.root_t
+
+let eval_all_seeds k f = eval_depth k ~depth:k.domain_bits f
+let eval_all_bits k f = eval_depth k ~depth:k.domain_bits (fun x t _ _ -> f x t)
+
+let selected_indices k =
+  let acc = ref [] in
+  eval_all_bits k (fun x t -> if t = 1 then acc := x :: !acc);
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Distributed-evaluation hooks                                        *)
+(* ------------------------------------------------------------------ *)
+
+let eval_prefixes k ~levels f =
+  if levels < 0 || levels > k.domain_bits then invalid_arg "Dpf.eval_prefixes: bad level count";
+  eval_depth k ~depth:levels f
+
+let make_subkey k ~root_seed ~root_pos ~root_t ~levels =
+  if levels < 0 || levels >= k.domain_bits then invalid_arg "Dpf.make_subkey: bad level count";
+  let seed = Bytes.create 16 in
+  Bytes.blit root_seed root_pos seed 0 16;
+  {
+    k with
+    domain_bits = k.domain_bits - levels;
+    root_seed = seed;
+    root_t;
+    cw_offset = k.cw_offset + levels;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Serialisation                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let magic = 'D'
+let version = 1
+
+let serialized_size ~domain_bits ~value_len = 10 + 16 + (17 * domain_bits) + value_len
+
+let paper_key_size ~domain_bits = (128 + 2) * domain_bits
+
+let serialize k =
+  let d = k.domain_bits in
+  let buf = Buffer.create (serialized_size ~domain_bits:d ~value_len:k.value_len) in
+  Buffer.add_char buf magic;
+  Buffer.add_char buf (Char.chr version);
+  Buffer.add_char buf (Char.chr k.party);
+  Buffer.add_char buf (Char.chr k.root_t);
+  Buffer.add_char buf (Char.chr (Prg.to_tag k.prg));
+  Buffer.add_char buf (Char.chr d);
+  Buffer.add_int32_be buf (Int32.of_int k.value_len);
+  Buffer.add_subbytes buf k.root_seed 0 16;
+  Buffer.add_subbytes buf k.cw_seeds (16 * k.cw_offset) (16 * d);
+  Buffer.add_subbytes buf k.cw_bits k.cw_offset d;
+  Buffer.add_string buf k.cw_leaf;
+  Buffer.contents buf
+
+let deserialize s =
+  let err msg = Error msg in
+  if String.length s < 10 then err "short header"
+  else if s.[0] <> magic then err "bad magic"
+  else if Char.code s.[1] <> version then err "unsupported version"
+  else begin
+    let party = Char.code s.[2] and root_t = Char.code s.[3] in
+    let prg_tag = Char.code s.[4] and d = Char.code s.[5] in
+    let value_len = Int32.to_int (String.get_int32_be s 6) in
+    if party > 1 then err "bad party"
+    else if root_t > 1 then err "bad root bit"
+    else if d < 1 || d > max_domain_bits then err "bad domain_bits"
+    else if value_len < 0 || value_len > 1 lsl 24 then err "bad value_len"
+    else begin
+      match Prg.of_tag prg_tag with
+      | None -> err "unknown prg"
+      | Some prg ->
+          let expect = serialized_size ~domain_bits:d ~value_len in
+          if String.length s <> expect then err "length mismatch"
+          else begin
+            let pos = ref 10 in
+            let take n =
+              let sub = String.sub s !pos n in
+              pos := !pos + n;
+              sub
+            in
+            let root_seed = Bytes.of_string (take 16) in
+            let cw_seeds = Bytes.of_string (take (16 * d)) in
+            let cw_bits = Bytes.of_string (take d) in
+            let cw_leaf = take value_len in
+            let bits_ok = ref true in
+            Bytes.iter (fun c -> if Char.code c > 3 then bits_ok := false) cw_bits;
+            if not !bits_ok then err "bad control bits"
+            else
+              Ok
+                {
+                  party;
+                  domain_bits = d;
+                  value_len;
+                  prg;
+                  root_seed;
+                  root_t;
+                  cw_seeds;
+                  cw_bits;
+                  cw_offset = 0;
+                  cw_leaf;
+                }
+          end
+    end
+  end

@@ -1,0 +1,87 @@
+(** Distributed point functions (Boyle–Gilboa–Ishai, CCS'16).
+
+    A DPF for the point function [f_{α,v}] (value [v] at index [α] of a
+    [2^d] domain, zero elsewhere) is a pair of keys. Each key alone reveals
+    nothing about [α] or [v]; evaluations of the two keys XOR to
+    [f_{α,v}]. Two-server PIR evaluates a key over the whole domain and
+    XOR-accumulates database buckets where the share bit is set — the
+    per-request linear scan the paper measures (§5.1).
+
+    Keys are [O(λ·d)] bytes: per tree level one 16-byte seed correction
+    word plus two control bits, and for value-carrying DPFs one leaf
+    correction word of [value_len] bytes. *)
+
+type key
+
+(** {2 Key generation} *)
+
+val gen :
+  ?prg:Prg.t ->
+  ?value:string ->
+  domain_bits:int ->
+  alpha:int ->
+  Lw_crypto.Drbg.t ->
+  key * key
+(** [gen ~domain_bits ~alpha rng] produces the two key shares for the
+    selection-bit point function at [alpha]; with [?value], evaluations
+    carry XOR shares of [value] at [alpha]. [domain_bits] must be in
+    [1..30] and [alpha] in [[0, 2^domain_bits)]. *)
+
+(** {2 Accessors} *)
+
+val party : key -> int
+val domain_bits : key -> int
+val value_len : key -> int
+val prg : key -> Prg.t
+
+(** {2 Evaluation} *)
+
+val eval_bit : key -> int -> int
+(** [eval_bit k x] is this party's share bit at index [x]; the two
+    parties' bits XOR to [1] iff [x = alpha]. *)
+
+val eval_value : key -> int -> string
+(** [eval_value k x] is this party's [value_len]-byte share at [x].
+    Raises [Invalid_argument] for a selection-bit key. *)
+
+val eval_all_bits : key -> (int -> int -> unit) -> unit
+(** [eval_all_bits k f] calls [f x bit] for every [x] in domain order.
+    Costs ~2 PRG calls per leaf via depth-first tree expansion. *)
+
+val eval_all_seeds : key -> (int -> int -> Bytes.t -> int -> unit) -> unit
+(** [eval_all_seeds k f] calls [f x bit seed_buf pos] with the 16-byte leaf
+    seed at [pos] in [seed_buf] (valid only during the callback); callers
+    convert seeds to value shares with {!Prg.convert} when needed. *)
+
+val selected_indices : key -> int list
+(** [selected_indices k] lists the indices where this share's bit is 1 —
+    handy in tests; roughly half the domain. *)
+
+(** {2 Serialisation} *)
+
+val serialize : key -> string
+
+val deserialize : string -> (key, string) result
+(** Structural validation only: a syntactically valid key that was never
+    produced by {!gen} still evaluates (to garbage shares) — privacy, not
+    integrity, is the DPF's contract. *)
+
+val serialized_size : domain_bits:int -> value_len:int -> int
+(** Exact byte size of {!serialize} output for the given shape. *)
+
+val paper_key_size : domain_bits:int -> int
+(** The paper's "(λ+2)·d" key-size arithmetic (§5.1), interpreted — as the
+    paper's own totals require — in bytes with λ = 128: used by the
+    cost-model reproduction of the communication rows. *)
+
+(** {2 Internal hooks for [Distributed]} *)
+
+val make_subkey : key -> root_seed:Bytes.t -> root_pos:int -> root_t:int -> levels:int -> key
+(** [make_subkey k ~root_seed ~root_pos ~root_t ~levels] rebases [k] at an
+    internal tree node [levels] deep: the result is a valid key over the
+    remaining [domain_bits k - levels] bits. *)
+
+val eval_prefixes : key -> levels:int -> (int -> int -> Bytes.t -> int -> unit) -> unit
+(** [eval_prefixes k ~levels f] expands only the top [levels] levels,
+    calling [f prefix t seed_buf pos] for each of the [2^levels] internal
+    nodes in order. *)

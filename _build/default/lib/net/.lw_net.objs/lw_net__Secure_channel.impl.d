@@ -1,0 +1,1 @@
+lib/net/secure_channel.ml: Bytes Endpoint Int64 Lw_crypto String

@@ -1,0 +1,1 @@
+lib/net/tcp.ml: Endpoint Frame Thread Unix

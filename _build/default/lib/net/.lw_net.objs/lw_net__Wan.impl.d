@@ -1,0 +1,1 @@
+lib/net/wan.ml: Endpoint List String

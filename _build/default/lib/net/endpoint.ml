@@ -1,0 +1,87 @@
+type t = { send : string -> unit; recv : unit -> string; close : unit -> unit }
+
+exception Closed
+
+(* Thread-safe unbounded message queue; [None] marks closure. *)
+module Mailbox = struct
+  type 'a t = {
+    q : 'a Queue.t;
+    mutex : Mutex.t;
+    nonempty : Condition.t;
+    mutable closed : bool;
+  }
+
+  let create () =
+    { q = Queue.create (); mutex = Mutex.create (); nonempty = Condition.create (); closed = false }
+
+  let push t x =
+    Mutex.lock t.mutex;
+    if t.closed then begin
+      Mutex.unlock t.mutex;
+      raise Closed
+    end;
+    Queue.push x t.q;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mutex
+
+  let pop t =
+    Mutex.lock t.mutex;
+    let rec wait () =
+      if not (Queue.is_empty t.q) then begin
+        let x = Queue.pop t.q in
+        Mutex.unlock t.mutex;
+        x
+      end
+      else if t.closed then begin
+        Mutex.unlock t.mutex;
+        raise Closed
+      end
+      else begin
+        Condition.wait t.nonempty t.mutex;
+        wait ()
+      end
+    in
+    wait ()
+
+  let close t =
+    Mutex.lock t.mutex;
+    t.closed <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex
+end
+
+let pipe () =
+  let a_to_b = Mailbox.create () and b_to_a = Mailbox.create () in
+  let close () =
+    Mailbox.close a_to_b;
+    Mailbox.close b_to_a
+  in
+  ( { send = Mailbox.push a_to_b; recv = (fun () -> Mailbox.pop b_to_a); close },
+    { send = Mailbox.push b_to_a; recv = (fun () -> Mailbox.pop a_to_b); close } )
+
+let loopback handler =
+  let inbox = Mailbox.create () in
+  {
+    send = (fun req -> Mailbox.push inbox (handler req));
+    recv = (fun () -> Mailbox.pop inbox);
+    close = (fun () -> Mailbox.close inbox);
+  }
+
+type counters = { mutable sent_bytes : int; mutable recv_bytes : int; mutable messages : int }
+
+let with_counters ep =
+  let c = { sent_bytes = 0; recv_bytes = 0; messages = 0 } in
+  ( {
+      send =
+        (fun msg ->
+          c.sent_bytes <- c.sent_bytes + String.length msg;
+          c.messages <- c.messages + 1;
+          ep.send msg);
+      recv =
+        (fun () ->
+          let msg = ep.recv () in
+          c.recv_bytes <- c.recv_bytes + String.length msg;
+          msg);
+      close = ep.close;
+    },
+    c )

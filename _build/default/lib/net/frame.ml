@@ -1,0 +1,27 @@
+let max_frame_size = 64 * 1024 * 1024
+let header_size = 4
+
+exception Malformed of string
+
+let encode payload =
+  let n = String.length payload in
+  if n > max_frame_size then invalid_arg "Frame.encode: frame too large";
+  let b = Bytes.create (header_size + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b header_size n;
+  Bytes.unsafe_to_string b
+
+let decode_header h =
+  if String.length h <> header_size then raise (Malformed "short header");
+  let n = Int32.to_int (String.get_int32_be h 0) in
+  if n < 0 || n > max_frame_size then raise (Malformed "bad frame length");
+  n
+
+let write oc payload =
+  output_string oc (encode payload);
+  flush oc
+
+let read ic =
+  let header = really_input_string ic header_size in
+  let n = decode_header header in
+  really_input_string ic n

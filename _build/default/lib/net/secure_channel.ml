@@ -1,0 +1,82 @@
+let keypair = Lw_crypto.X25519.keypair
+
+let derive_keys ~shared ~client_ephemeral ~server_public =
+  let okm =
+    Lw_crypto.Hmac.hkdf ~salt:(client_ephemeral ^ server_public)
+      ~info:"lightweb-secure-channel-v1" ~len:64 shared
+  in
+  (String.sub okm 0 32, String.sub okm 32 32) (* c2s, s2c *)
+
+let nonce_of_counter c =
+  let b = Bytes.make 12 '\x00' in
+  Bytes.set_int64_le b 0 (Int64.of_int c);
+  Bytes.unsafe_to_string b
+
+(* Directional AEAD under counter nonces; the server's key-confirmation
+   message occupies slot 0 of the s2c direction, hence the start offsets. *)
+let sealed_endpoint (ep : Endpoint.t) ~send_key ~send_start ~recv_key ~recv_start =
+  let send_counter = ref send_start and recv_counter = ref recv_start in
+  {
+    Endpoint.send =
+      (fun msg ->
+        let nonce = nonce_of_counter !send_counter in
+        incr send_counter;
+        ep.Endpoint.send (Lw_crypto.Aead.seal ~key:send_key ~nonce msg));
+    recv =
+      (fun () ->
+        let ct = ep.Endpoint.recv () in
+        let nonce = nonce_of_counter !recv_counter in
+        incr recv_counter;
+        match Lw_crypto.Aead.open_ ~key:recv_key ~nonce ct with
+        | Some msg -> msg
+        | None ->
+            (* tampering, replay or reorder: kill the channel *)
+            ep.Endpoint.close ();
+            raise Endpoint.Closed);
+    close = ep.Endpoint.close;
+  }
+
+let confirmation = "lightweb-channel-confirm"
+
+let client ~server_public ~rng ep =
+  if String.length server_public <> 32 then Error "bad server public key length"
+  else begin
+    let eph = Lw_crypto.X25519.keypair rng in
+    match
+      Lw_crypto.X25519.shared_secret ~secret:eph.Lw_crypto.X25519.secret ~public:server_public
+    with
+    | Error e -> Error e
+    | Ok shared -> (
+        let c2s, s2c =
+          derive_keys ~shared ~client_ephemeral:eph.Lw_crypto.X25519.public ~server_public
+        in
+        match
+          ep.Endpoint.send eph.Lw_crypto.X25519.public;
+          ep.Endpoint.recv ()
+        with
+        | exception Endpoint.Closed -> Error "connection closed during handshake"
+        | confirm -> (
+            match Lw_crypto.Aead.open_ ~key:s2c ~nonce:(nonce_of_counter 0) confirm with
+            | Some msg when String.equal msg confirmation ->
+                Ok (sealed_endpoint ep ~send_key:c2s ~send_start:0 ~recv_key:s2c ~recv_start:1)
+            | Some _ | None -> Error "server failed key confirmation (wrong identity key?)"))
+  end
+
+let server ~secret ep =
+  if String.length secret <> 32 then Error "bad server secret key length"
+  else begin
+    match ep.Endpoint.recv () with
+    | exception Endpoint.Closed -> Error "connection closed during handshake"
+    | client_ephemeral ->
+        if String.length client_ephemeral <> 32 then Error "bad client ephemeral"
+        else begin
+          match Lw_crypto.X25519.shared_secret ~secret ~public:client_ephemeral with
+          | Error e -> Error e
+          | Ok shared ->
+              let server_public = Lw_crypto.X25519.public_of_secret secret in
+              let c2s, s2c = derive_keys ~shared ~client_ephemeral ~server_public in
+              ep.Endpoint.send
+                (Lw_crypto.Aead.seal ~key:s2c ~nonce:(nonce_of_counter 0) confirmation);
+              Ok (sealed_endpoint ep ~send_key:s2c ~send_start:1 ~recv_key:c2s ~recv_start:0)
+        end
+  end

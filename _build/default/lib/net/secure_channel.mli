@@ -1,0 +1,29 @@
+(** An authenticated, encrypted message channel over any {!Endpoint.t} —
+    the "attested channel terminating inside the enclave" of the paper's
+    enclave mode (§2.2).
+
+    The server (enclave) holds a static X25519 keypair whose public half
+    the client knows out-of-band (in SGX terms: pinned from the
+    attestation report). The handshake is a one-sided Noise-NK-style
+    exchange: the client sends an ephemeral public key, both sides derive
+    directional ChaCha20-Poly1305 keys from the Diffie–Hellman secret and
+    the transcript, and the server proves possession of its static secret
+    with an authenticated confirmation message. The relaying host sees
+    only the ephemeral key and ciphertext.
+
+    Nonces are message counters, so the channel also rejects replay,
+    reordering and truncation within a direction. *)
+
+val client :
+  server_public:string -> rng:Lw_crypto.Drbg.t -> Endpoint.t -> (Endpoint.t, string) result
+(** Run the client side of the handshake on a fresh endpoint; on success
+    the returned endpoint speaks plaintext while the underlying one
+    carries ciphertext. *)
+
+val server :
+  secret:string -> Endpoint.t -> (Endpoint.t, string) result
+(** Run the server (enclave) side; [secret] is the static X25519 secret
+    key. Blocks for the client's handshake message. *)
+
+val keypair : Lw_crypto.Drbg.t -> Lw_crypto.X25519.keypair
+(** Convenience re-export for enclave provisioning. *)

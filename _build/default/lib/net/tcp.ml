@@ -1,0 +1,64 @@
+type server = { sock : Unix.file_descr; port : int; mutable running : bool }
+
+let endpoint_of_fd fd =
+  let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+  let closed = ref false in
+  let close () =
+    if not !closed then begin
+      closed := true;
+      (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ()
+    end
+  in
+  {
+    Endpoint.send =
+      (fun msg ->
+        if !closed then raise Endpoint.Closed;
+        try Frame.write oc msg with Sys_error _ -> raise Endpoint.Closed);
+    recv =
+      (fun () ->
+        if !closed then raise Endpoint.Closed;
+        try Frame.read ic with End_of_file | Sys_error _ -> raise Endpoint.Closed);
+    close;
+  }
+
+let serve ?(backlog = 16) ~host ~port handler =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen sock backlog;
+  let actual_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  let server = { sock; port = actual_port; running = true } in
+  let accept_loop () =
+    while server.running do
+      match Unix.accept sock with
+      | fd, _peer ->
+          let conn_main () =
+            let ep = endpoint_of_fd fd in
+            (try handler ep with _ -> ());
+            ep.Endpoint.close ()
+          in
+          ignore (Thread.create conn_main ())
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> server.running <- false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+  in
+  ignore (Thread.create accept_loop ());
+  server
+
+let port s = s.port
+
+let shutdown s =
+  if s.running then begin
+    s.running <- false;
+    try Unix.close s.sock with Unix.Unix_error _ -> ()
+  end
+
+let connect ~host ~port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  endpoint_of_fd sock

@@ -1,0 +1,19 @@
+(** Real TCP transport (loopback-tested): thread-per-connection server and
+    blocking client, both speaking {!Frame}-framed messages and exposed as
+    {!Endpoint.t}s so the whole ZLTP stack runs unchanged over sockets. *)
+
+type server
+
+val serve :
+  ?backlog:int -> host:string -> port:int -> (Endpoint.t -> unit) -> server
+(** [serve ~host ~port handler] binds and starts accepting in a background
+    thread; [handler] runs in its own thread per connection and owns the
+    endpoint (the socket closes when it returns or raises). Port 0 picks a
+    free port — read it back with {!port}. *)
+
+val port : server -> int
+val shutdown : server -> unit
+(** Stop accepting and close the listening socket. *)
+
+val connect : host:string -> port:int -> Endpoint.t
+(** Blocking client connection. *)

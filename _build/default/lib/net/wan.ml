@@ -1,0 +1,45 @@
+type direction = Up | Down
+
+type event = { time : float; direction : direction; bytes : int; label : string }
+
+type link = {
+  latency_s : float;
+  bandwidth_bps : float;
+  mutable clock : float;
+  mutable log : event list; (* reversed *)
+}
+
+let link ?(latency_s = 0.040) ?(bandwidth_bps = 100e6) () =
+  if latency_s < 0. || bandwidth_bps <= 0. then invalid_arg "Wan.link: bad parameters";
+  { latency_s; bandwidth_bps; clock = 0.; log = [] }
+
+let now l = l.clock
+let events l = List.rev l.log
+let reset l =
+  l.clock <- 0.;
+  l.log <- []
+
+let transfer_time l bytes = l.latency_s +. (float_of_int (8 * bytes) /. l.bandwidth_bps)
+
+let charge l direction label bytes =
+  l.log <- { time = l.clock; direction; bytes; label } :: l.log;
+  l.clock <- l.clock +. transfer_time l bytes
+
+let attach l ~label (ep : Endpoint.t) =
+  {
+    Endpoint.send =
+      (fun msg ->
+        charge l Up label (String.length msg);
+        ep.Endpoint.send msg);
+    recv =
+      (fun () ->
+        let msg = ep.Endpoint.recv () in
+        charge l Down label (String.length msg);
+        msg);
+    close = ep.Endpoint.close;
+  }
+
+let total_bytes l direction =
+  List.fold_left
+    (fun acc e -> if e.direction = direction then acc + e.bytes else acc)
+    0 (events l)

@@ -1,0 +1,35 @@
+(** A simulated wide-area link with virtual-time accounting.
+
+    Rather than sleeping, the simulator charges each message
+    [latency + bytes/bandwidth] against a virtual clock and records a
+    traffic event — giving the browsing-session experiments (E5, E10) a
+    deterministic timeline and per-flow byte counts, which is exactly what
+    a network-level attacker observes in §3.2's leakage analysis. *)
+
+type direction = Up | Down
+
+type event = {
+  time : float; (** virtual seconds when the message enters the link *)
+  direction : direction;
+  bytes : int;
+  label : string; (** flow label, e.g. "code" / "data0"; visible to the
+                      attacker only as a connection identifier *)
+}
+
+type link
+
+val link : ?latency_s:float -> ?bandwidth_bps:float -> unit -> link
+(** Defaults: 40 ms, 100 Mbit/s. *)
+
+val now : link -> float
+val events : link -> event list
+val reset : link -> unit
+
+val attach : link -> label:string -> Endpoint.t -> Endpoint.t
+(** [attach link ~label ep] wraps [ep]; sends are [Up], receives [Down].
+    Both directions advance the shared virtual clock. *)
+
+val transfer_time : link -> int -> float
+(** Time one message of [n] bytes occupies the link. *)
+
+val total_bytes : link -> direction -> int

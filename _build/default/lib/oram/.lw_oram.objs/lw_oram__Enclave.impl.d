@@ -1,0 +1,1 @@
+lib/oram/enclave.ml: Hashtbl List Lw_crypto Lw_pir Lw_util Path_oram String

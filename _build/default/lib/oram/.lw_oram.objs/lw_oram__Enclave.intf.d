@@ -1,0 +1,1 @@
+lib/oram/enclave.mli:

@@ -1,0 +1,1 @@
+lib/oram/path_oram.ml: Array Bytes Hashtbl List Lw_crypto Lw_util Option String

@@ -1,0 +1,1 @@
+lib/oram/recursive_oram.ml: Bytes Int32 List Lw_util Path_oram

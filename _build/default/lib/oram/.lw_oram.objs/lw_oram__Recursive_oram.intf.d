@@ -1,0 +1,1 @@
+lib/oram/recursive_oram.mli: Lw_crypto

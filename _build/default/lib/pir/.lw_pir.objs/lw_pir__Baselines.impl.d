@@ -1,0 +1,1 @@
+lib/pir/baselines.ml: Bucket_db Bytes Lw_dpf

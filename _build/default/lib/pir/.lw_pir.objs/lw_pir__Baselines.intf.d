@@ -1,0 +1,1 @@
+lib/pir/baselines.mli: Bucket_db

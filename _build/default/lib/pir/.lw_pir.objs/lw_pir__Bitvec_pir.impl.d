@@ -1,0 +1,1 @@
+lib/pir/bitvec_pir.ml: Bucket_db Bytes Char Lw_crypto Lw_util

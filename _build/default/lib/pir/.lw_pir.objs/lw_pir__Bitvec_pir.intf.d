@@ -1,0 +1,1 @@
+lib/pir/bitvec_pir.mli: Bucket_db Bytes Lw_crypto

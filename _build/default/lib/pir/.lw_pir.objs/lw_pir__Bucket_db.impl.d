@@ -1,0 +1,1 @@
+lib/pir/bucket_db.ml: Bytes Lw_util String

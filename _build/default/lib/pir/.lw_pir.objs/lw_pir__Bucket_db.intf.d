@@ -1,0 +1,1 @@
+lib/pir/bucket_db.mli: Bytes Lw_util

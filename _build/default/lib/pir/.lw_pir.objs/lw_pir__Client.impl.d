@@ -1,0 +1,1 @@
+lib/pir/client.ml: Keymap Lw_dpf Lw_util Record String

@@ -1,0 +1,1 @@
+lib/pir/client.mli: Keymap Lw_crypto Lw_dpf

@@ -1,0 +1,1 @@
+lib/pir/cuckoo.ml: Bucket_db Hashtbl Keymap Lw_crypto Option Record String

@@ -1,0 +1,1 @@
+lib/pir/cuckoo.mli: Bucket_db

@@ -1,0 +1,1 @@
+lib/pir/keymap.ml: Hashtbl Lw_crypto Lw_util Printf String

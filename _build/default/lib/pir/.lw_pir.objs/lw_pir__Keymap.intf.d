@@ -1,0 +1,1 @@
+lib/pir/keymap.mli: Lw_util

@@ -1,0 +1,1 @@
+lib/pir/record.ml: Bytes Int32 String

@@ -1,0 +1,1 @@
+lib/pir/server.ml: Array Bucket_db Bytes Char Lw_dpf Printf

@@ -1,0 +1,1 @@
+lib/pir/server.mli: Bucket_db Bytes Lw_dpf

@@ -1,0 +1,1 @@
+lib/pir/store.ml: Bucket_db Keymap Lw_crypto Record String

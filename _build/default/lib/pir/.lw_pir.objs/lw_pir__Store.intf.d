@@ -1,0 +1,1 @@
+lib/pir/store.mli: Bucket_db Keymap

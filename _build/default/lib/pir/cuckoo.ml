@@ -1,0 +1,89 @@
+type t = {
+  db : Bucket_db.t;
+  h0 : Keymap.t;
+  h1 : Keymap.t;
+  max_kicks : int;
+  stash : (string, string) Hashtbl.t;
+  mutable count : int;
+}
+
+let probes_per_query = 2
+
+let default_hash_key = String.sub (Lw_crypto.Sha256.digest "lw-pir-cuckoo-default") 0 16
+
+let create ?(hash_key = default_hash_key) ?(max_kicks = 512) ~domain_bits ~bucket_size () =
+  let base = Keymap.create ~hash_key ~domain_bits in
+  {
+    db = Bucket_db.create ~domain_bits ~bucket_size;
+    h0 = Keymap.derive base ~salt:0;
+    h1 = Keymap.derive base ~salt:1;
+    max_kicks;
+    stash = Hashtbl.create 8;
+    count = 0;
+  }
+
+let db t = t.db
+let count t = t.count
+let stash_size t = Hashtbl.length t.stash
+
+let candidates t key = (Keymap.index_of_key t.h0 key, Keymap.index_of_key t.h1 key)
+
+let slot_of t key =
+  let i0, i1 = candidates t key in
+  let check i = Record.decode_for_key ~key (Bucket_db.get t.db i) |> Option.map (fun v -> (i, v)) in
+  match check i0 with Some r -> Some r | None -> check i1
+
+let find t key =
+  match slot_of t key with
+  | Some (_, v) -> Some v
+  | None -> Hashtbl.find_opt t.stash key
+
+let remove t key =
+  match slot_of t key with
+  | Some (i, _) ->
+      Bucket_db.clear t.db i;
+      t.count <- t.count - 1;
+      true
+  | None ->
+      if Hashtbl.mem t.stash key then begin
+        Hashtbl.remove t.stash key;
+        t.count <- t.count - 1;
+        true
+      end
+      else false
+
+let other_candidate t key current =
+  let i0, i1 = candidates t key in
+  if current = i0 then i1 else i0
+
+let insert t ~key ~value =
+  let bucket_size = Bucket_db.bucket_size t.db in
+  if Record.overhead + String.length key + String.length value > bucket_size then Error `Too_large
+  else begin
+    let fresh = find t key = None in
+    (match slot_of t key with
+    | Some (i, _) -> Bucket_db.set t.db i (Record.encode ~bucket_size ~key ~value)
+    | None when Hashtbl.mem t.stash key -> Hashtbl.replace t.stash key value
+    | None ->
+        (* displacement loop: place the pending record at [target]; a full
+           slot evicts its occupant to that occupant's alternate bucket.
+           After max_kicks the pending record goes to the stash, so nothing
+           is ever dropped. *)
+        let rec place key value target kicks =
+          if kicks > t.max_kicks then Hashtbl.replace t.stash key value
+          else begin
+            match Record.decode (Bucket_db.get t.db target) with
+            | None -> Bucket_db.set t.db target (Record.encode ~bucket_size ~key ~value)
+            | Some (victim_key, victim_value) ->
+                Bucket_db.set t.db target (Record.encode ~bucket_size ~key ~value);
+                place victim_key victim_value (other_candidate t victim_key target) (kicks + 1)
+          end
+        in
+        let i0, i1 = candidates t key in
+        let start = if Record.decode (Bucket_db.get t.db i0) = None then i0 else i1 in
+        place key value start 0);
+    if fresh then t.count <- t.count + 1;
+    Ok ()
+  end
+
+let load_factor t = float_of_int t.count /. float_of_int (Bucket_db.size t.db)

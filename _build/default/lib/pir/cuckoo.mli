@@ -1,0 +1,35 @@
+(** Cuckoo-hashed keyword store: two candidate buckets per key with
+    displacement on insert — the paper's suggested alternative to renaming
+    ("using cuckoo hashing and probing several locations per request",
+    §5.1). A client privately probes both candidate locations, so a page
+    costs two private-GETs here versus one for {!Store}, in exchange for
+    near-zero publish failures at much higher load factors.
+
+    Records whose eviction chain exceeds [max_kicks] land in a small
+    stash, so no record is ever dropped; a healthy table keeps the stash
+    at (or very near) zero. *)
+
+type t
+
+val create :
+  ?hash_key:string -> ?max_kicks:int -> domain_bits:int -> bucket_size:int -> unit -> t
+(** [max_kicks] bounds the eviction chain (default 512). *)
+
+val db : t -> Bucket_db.t
+val count : t -> int
+
+val candidates : t -> string -> int * int
+(** The two buckets a key may live in (distinct hash functions; may
+    coincide by chance). *)
+
+val insert : t -> key:string -> value:string -> (unit, [ `Too_large ]) result
+val find : t -> string -> string option
+val remove : t -> string -> bool
+val load_factor : t -> float
+
+val stash_size : t -> int
+(** Records displaced past [max_kicks]. A deployment sizes the table so
+    this stays ~0; the tests and the E6 bench report it. *)
+
+val probes_per_query : int
+(** 2: privacy requires clients to always probe both candidates. *)

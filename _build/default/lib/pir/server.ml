@@ -1,0 +1,45 @@
+type t = { db : Bucket_db.t }
+
+let create db = { db }
+let db t = t.db
+
+let check_domain t k =
+  if Lw_dpf.Dpf.domain_bits k <> Bucket_db.domain_bits t.db then
+    invalid_arg "Server: key domain does not match database"
+
+let eval_bits t k =
+  check_domain t k;
+  let bits = Bytes.create (Bucket_db.size t.db) in
+  Lw_dpf.Dpf.eval_all_bits k (fun i b -> Bytes.unsafe_set bits i (Char.unsafe_chr b));
+  bits
+
+let scan t bits =
+  let acc = Bytes.make (Bucket_db.bucket_size t.db) '\x00' in
+  for i = 0 to Bucket_db.size t.db - 1 do
+    if Bytes.unsafe_get bits i <> '\x00' then Bucket_db.xor_bucket_into t.db i ~dst:acc
+  done;
+  Bytes.unsafe_to_string acc
+
+let answer t k = scan t (eval_bits t k)
+
+let answer_batch t keys =
+  Array.iter (check_domain t) keys;
+  let n = Array.length keys in
+  let all_bits = Array.map (eval_bits t) keys in
+  let accs = Array.init n (fun _ -> Bytes.make (Bucket_db.bucket_size t.db) '\x00') in
+  (* one pass over the data: every accumulator is fed from the same
+     streamed bucket, so the scan cost is paid once per batch *)
+  for i = 0 to Bucket_db.size t.db - 1 do
+    for q = 0 to n - 1 do
+      if Bytes.unsafe_get all_bits.(q) i <> '\x00' then
+        Bucket_db.xor_bucket_into t.db i ~dst:accs.(q)
+    done
+  done;
+  Array.map Bytes.unsafe_to_string accs
+
+let answer_serialized t key_bytes =
+  match Lw_dpf.Dpf.deserialize key_bytes with
+  | Error e -> Error (Printf.sprintf "bad DPF key: %s" e)
+  | Ok k ->
+      if Lw_dpf.Dpf.domain_bits k <> Bucket_db.domain_bits t.db then Error "domain mismatch"
+      else Ok (answer t k)

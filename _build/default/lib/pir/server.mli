@@ -1,0 +1,32 @@
+(** The two-server PIR server side: per-request DPF evaluation plus the
+    linear data scan (the two cost components the paper's §5.1
+    microbenchmark separates: 64 ms DPF evaluation + 103 ms scan per GiB).
+
+    [eval_bits] and [scan] are exposed separately so benchmarks can time
+    each phase; [answer] composes them. [answer_batch] amortises the scan:
+    it evaluates every key's selection bits first, then makes one pass
+    over the database feeding all accumulators — the batching experiment
+    of §5.1. *)
+
+type t
+
+val create : Bucket_db.t -> t
+val db : t -> Bucket_db.t
+
+val eval_bits : t -> Lw_dpf.Dpf.key -> Bytes.t
+(** [eval_bits t k] is one byte (0/1) per bucket, in index order. Raises
+    [Invalid_argument] if the key's domain differs from the database's. *)
+
+val scan : t -> Bytes.t -> string
+(** [scan t bits] XORs every bucket whose bit is set into a fresh
+    accumulator of [bucket_size] bytes. *)
+
+val answer : t -> Lw_dpf.Dpf.key -> string
+(** One private-GET response share. *)
+
+val answer_batch : t -> Lw_dpf.Dpf.key array -> string array
+(** All responses computed with a single fused pass over the data. *)
+
+val answer_serialized : t -> string -> (string, string) result
+(** Wire-level entry point: deserialises the key, validates the domain,
+    answers. *)

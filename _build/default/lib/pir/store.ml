@@ -1,0 +1,45 @@
+type t = { db : Bucket_db.t; keymap : Keymap.t; mutable count : int }
+
+type insert_error = Collision of string | Too_large
+
+let default_hash_key = String.sub (Lw_crypto.Sha256.digest "lw-pir-store-default") 0 16
+
+let create ?(hash_key = default_hash_key) ~domain_bits ~bucket_size () =
+  {
+    db = Bucket_db.create ~domain_bits ~bucket_size;
+    keymap = Keymap.create ~hash_key ~domain_bits;
+    count = 0;
+  }
+
+let db t = t.db
+let keymap t = t.keymap
+let count t = t.count
+let index_of t key = Keymap.index_of_key t.keymap key
+
+let insert t ~key ~value =
+  let i = index_of t key in
+  let fits =
+    Record.overhead + String.length key + String.length value <= Bucket_db.bucket_size t.db
+  in
+  if not fits then Error Too_large
+  else begin
+    match Record.decode (Bucket_db.get t.db i) with
+    | Some (existing, _) when not (String.equal existing key) -> Error (Collision existing)
+    | (Some _ | None) as prior ->
+        Bucket_db.set t.db i (Record.encode ~bucket_size:(Bucket_db.bucket_size t.db) ~key ~value);
+        if prior = None then t.count <- t.count + 1;
+        Ok ()
+  end
+
+let remove t key =
+  let i = index_of t key in
+  match Record.decode_for_key ~key (Bucket_db.get t.db i) with
+  | Some _ ->
+      Bucket_db.clear t.db i;
+      t.count <- t.count - 1;
+      true
+  | None -> false
+
+let find t key = Record.decode_for_key ~key (Bucket_db.get t.db (index_of t key))
+
+let load_factor t = float_of_int t.count /. float_of_int (Bucket_db.size t.db)

@@ -1,0 +1,33 @@
+(** Single-hash keyword store: each key owns the one bucket its hash picks
+    (the paper's default; on collision the publisher renames, §5.1). *)
+
+type t
+
+type insert_error =
+  | Collision of string (** the existing key occupying the slot *)
+  | Too_large
+
+val create : ?hash_key:string -> domain_bits:int -> bucket_size:int -> unit -> t
+(** [create ~domain_bits ~bucket_size ()] makes an empty store. The
+    SipHash key defaults to a fixed test key; deployments pass a secret
+    per-universe key. *)
+
+val db : t -> Bucket_db.t
+val keymap : t -> Keymap.t
+val count : t -> int
+(** Number of stored keys. *)
+
+val insert : t -> key:string -> value:string -> (unit, insert_error) result
+(** Rejects a key whose slot is taken by a {e different} key; re-inserting
+    the same key overwrites. *)
+
+val remove : t -> string -> bool
+(** [remove t key] clears the key's bucket if it holds that key. *)
+
+val find : t -> string -> string option
+(** Direct (non-private) lookup — publishers and tests use this; clients
+    go through PIR. *)
+
+val index_of : t -> string -> int
+
+val load_factor : t -> float

@@ -1,0 +1,1 @@
+lib/sim/corpus.ml: Array Buffer Float Hashtbl List Lw_util Printf String Zipf

@@ -1,0 +1,1 @@
+lib/sim/corpus.mli: Lw_util

@@ -1,0 +1,1 @@
+lib/sim/fingerprint.ml: Array Float Hashtbl List Lw_util Printf

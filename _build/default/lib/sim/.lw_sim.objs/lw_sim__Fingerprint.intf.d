@@ -1,0 +1,1 @@
+lib/sim/fingerprint.mli: Lw_util

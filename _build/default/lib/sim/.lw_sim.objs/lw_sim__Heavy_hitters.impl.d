@@ -1,0 +1,1 @@
+lib/sim/heavy_hitters.ml: Array Int64 List Lw_dpf

@@ -1,0 +1,1 @@
+lib/sim/heavy_hitters.mli: Lw_crypto Lw_dpf

@@ -1,0 +1,1 @@
+lib/sim/latency_model.ml: Array Float Lw_util

@@ -1,0 +1,1 @@
+lib/sim/latency_model.mli: Lw_util

@@ -1,0 +1,1 @@
+lib/sim/queue_sim.ml: Array Float List Lw_util Queue

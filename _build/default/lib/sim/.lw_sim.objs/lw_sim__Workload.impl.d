@@ -1,0 +1,1 @@
+lib/sim/workload.ml: Cost_model Hashtbl List Lw_util Zipf

@@ -1,0 +1,1 @@
+lib/sim/workload.mli: Cost_model Lw_util

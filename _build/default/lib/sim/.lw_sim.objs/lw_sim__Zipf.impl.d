@@ -1,0 +1,1 @@
+lib/sim/zipf.ml: Array Float Lw_util

@@ -1,0 +1,1 @@
+lib/sim/zipf.mli: Lw_util

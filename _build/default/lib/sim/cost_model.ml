@@ -1,0 +1,108 @@
+type instance = { name : string; vcpus : int; price_per_hour : float }
+
+let c5_large = { name = "c5.large"; vcpus = 2; price_per_hour = 0.085 }
+
+type shard = {
+  shard_bytes : float;
+  domain_bits : int;
+  request_seconds : float;
+  dpf_seconds : float;
+  scan_seconds : float;
+}
+
+let gib = 1073741824.
+
+let paper_shard =
+  {
+    shard_bytes = gib;
+    domain_bits = 22;
+    request_seconds = 0.167;
+    dpf_seconds = 0.064;
+    scan_seconds = 0.103;
+  }
+
+let shard_of_measurement ?(shard_bytes = gib) ?(domain_bits = 22) ~dpf_seconds ~scan_seconds () =
+  {
+    shard_bytes;
+    domain_bits;
+    request_seconds = dpf_seconds +. scan_seconds;
+    dpf_seconds;
+    scan_seconds;
+  }
+
+type dataset = { name : string; total_bytes : float; pages : float; avg_page_bytes : float }
+
+let of_profile (p : Corpus.profile) =
+  {
+    name = p.Corpus.name;
+    total_bytes = p.Corpus.total_bytes;
+    pages = p.Corpus.pages;
+    avg_page_bytes = p.Corpus.avg_page_bytes;
+  }
+
+type policy = Storage_driven | Domain_driven
+
+let shard_count policy ds shard =
+  let count =
+    match policy with
+    | Storage_driven -> ds.total_bytes /. shard.shard_bytes
+    | Domain_driven -> ds.pages /. float_of_int (1 lsl shard.domain_bits)
+  in
+  max 1 (int_of_float (Float.ceil count))
+
+type estimate = {
+  dataset : string;
+  shards : int;
+  vcpu_seconds : float;
+  request_cost_usd : float;
+  upload_kib : float;
+  download_kib : float;
+  total_comm_kib : float;
+  latency_floor_s : float;
+}
+
+let lambda_bits = 128
+let servers = 2 (* two-server PIR: every request is answered twice *)
+
+let paper_key_bytes ~d_total = float_of_int ((lambda_bits + 2) * d_total)
+
+let estimate ?(policy = Storage_driven) ?(bucket_bytes = 4096) ?(batch = 16) ds shard inst =
+  let shards = shard_count policy ds shard in
+  (* instance-seconds on one logical server, all shards working one request *)
+  let instance_seconds = float_of_int shards *. shard.request_seconds in
+  let vcpu_seconds = instance_seconds *. float_of_int inst.vcpus *. float_of_int servers in
+  let request_cost_usd =
+    instance_seconds /. 3600. *. inst.price_per_hour *. float_of_int servers
+  in
+  let d_total = shard.domain_bits + Lw_util.Bitops.log2_ceil shards in
+  let upload = float_of_int servers *. paper_key_bytes ~d_total in
+  let download = float_of_int (servers * bucket_bytes) in
+  {
+    dataset = ds.name;
+    shards;
+    vcpu_seconds;
+    request_cost_usd;
+    upload_kib = upload /. 1024.;
+    download_kib = download /. 1024.;
+    total_comm_kib = (upload +. download) /. 1024.;
+    latency_floor_s = float_of_int batch *. shard.request_seconds;
+  }
+
+type user_profile = { pages_per_day : float; gets_per_page : int }
+
+let paper_user = { pages_per_day = 50.; gets_per_page = 5 }
+
+let monthly_user_cost u ~request_cost_usd =
+  u.pages_per_day *. float_of_int u.gets_per_page *. 30. *. request_cost_usd
+
+let google_fi_usd_per_gib = 10.
+let fi_cost ~bytes = bytes /. gib *. google_fi_usd_per_gib
+let nytimes_homepage_bytes = 22.4 *. 1024. *. 1024.
+
+let projected_cost ~years c = c /. Float.pow 16. (years /. 5.)
+
+let pp_estimate fmt e =
+  Format.fprintf fmt
+    "%-10s shards=%-4d vCPU-s=%-7.1f cost=$%.4f up=%.1fKiB down=%.1fKiB comm=%.1fKiB latency>=%.2fs"
+    e.dataset e.shards e.vcpu_seconds e.request_cost_usd e.upload_kib e.download_kib
+    e.total_comm_kib e.latency_floor_s

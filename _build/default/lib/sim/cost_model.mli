@@ -1,0 +1,92 @@
+(** The paper's cost arithmetic (§4, §5.2): scale a measured per-shard
+    request time up to a fleet serving a full dataset, price it against
+    AWS, and derive the per-user monthly bill.
+
+    All the constants the paper uses are exposed so E4 can regenerate
+    Table 2 exactly from the paper's measurements, and regenerate it again
+    from {e our} measured OCaml rates to compare shapes. *)
+
+(** {2 Machines and pricing} *)
+
+type instance = { name : string; vcpus : int; price_per_hour : float }
+
+val c5_large : instance
+(** 2 vCPU, $0.085/h — the paper's machine. *)
+
+(** {2 Per-shard microbenchmark numbers} *)
+
+type shard = {
+  shard_bytes : float; (** data served per shard; 1 GiB in the paper *)
+  domain_bits : int; (** DPF output domain per shard; 22 in the paper *)
+  request_seconds : float; (** one request's compute on one shard *)
+  dpf_seconds : float; (** portion spent in DPF evaluation *)
+  scan_seconds : float; (** portion spent scanning the data *)
+}
+
+val paper_shard : shard
+(** 167 ms = 64 ms DPF + 103 ms scan over 1 GiB (§5.1). *)
+
+val shard_of_measurement :
+  ?shard_bytes:float -> ?domain_bits:int -> dpf_seconds:float -> scan_seconds:float -> unit -> shard
+(** Build a shard model from measured rates (already scaled to the shard
+    geometry). *)
+
+(** {2 Datasets} *)
+
+type dataset = { name : string; total_bytes : float; pages : float; avg_page_bytes : float }
+
+val of_profile : Corpus.profile -> dataset
+
+(** {2 Sharding policies} *)
+
+type policy =
+  | Storage_driven (** shards = ⌈bytes / shard_bytes⌉ — matches Table 2's C4 row *)
+  | Domain_driven (** shards = ⌈pages / 2^domain_bits⌉ — matches Table 2's Wikipedia row *)
+
+val shard_count : policy -> dataset -> shard -> int
+
+(** {2 The estimate} *)
+
+type estimate = {
+  dataset : string;
+  shards : int;
+  vcpu_seconds : float; (** system-wide (both logical servers, both vCPUs) *)
+  request_cost_usd : float;
+  upload_kib : float; (** client→servers, both DPF keys, paper formula *)
+  download_kib : float; (** servers→client, two bucket shares *)
+  total_comm_kib : float;
+  latency_floor_s : float; (** batch-16 data-server latency lower bound *)
+}
+
+val estimate :
+  ?policy:policy -> ?bucket_bytes:int -> ?batch:int -> dataset -> shard -> instance -> estimate
+(** Defaults: [Storage_driven], 4 KiB buckets, batch 16 (latency floor =
+    batch × request_seconds, the paper's 2.6 s). The communication model
+    is the paper's: upload = 2 keys of [(λ+2)·d_total] bytes with λ = 128
+    and [d_total = domain_bits + ⌈log2 shards⌉]; download = 2 buckets. *)
+
+(** {2 §4 economics} *)
+
+type user_profile = { pages_per_day : float; gets_per_page : int }
+
+val paper_user : user_profile
+(** 50 page requests/day, 5 data GETs each. *)
+
+val monthly_user_cost : user_profile -> request_cost_usd:float -> float
+(** 30-day month: pages/day × GETs/page × 30 × system-wide request cost.
+    At the paper's C4 point: 50 · 5 · 30 · $0.002 = $15/month. *)
+
+val google_fi_usd_per_gib : float
+(** $10/GiB (§5.2's willingness-to-pay comparison). *)
+
+val fi_cost : bytes:float -> float
+val nytimes_homepage_bytes : float
+(** 22.4 MiB. *)
+
+(** {2 §5.2 "Looking forward"} *)
+
+val projected_cost : years:float -> float -> float
+(** [projected_cost ~years c] applies the historical 16×-per-5-years
+    compute-cost decline to [c]. *)
+
+val pp_estimate : Format.formatter -> estimate -> unit

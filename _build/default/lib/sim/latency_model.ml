@@ -1,0 +1,84 @@
+type params = {
+  shards : int;
+  base_shard_s : float;
+  straggler_sigma : float;
+  batch_window_s : float;
+  rtt_s : float;
+  frontend_s : float;
+  gets_per_page : int;
+  parallel_gets : bool;
+}
+
+let paper_params =
+  {
+    shards = 305;
+    base_shard_s = 0.167;
+    straggler_sigma = 0.25;
+    batch_window_s = 2.6;
+    rtt_s = 0.040;
+    frontend_s = 0.010;
+    gets_per_page = 5;
+    parallel_gets = true;
+  }
+
+type distribution = {
+  mean_s : float;
+  p50_s : float;
+  p95_s : float;
+  p99_s : float;
+  min_s : float;
+  max_s : float;
+}
+
+let gaussian rng =
+  let u1 = max 1e-12 (Lw_util.Det_rng.float rng 1.0) in
+  let u2 = Lw_util.Det_rng.float rng 1.0 in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+(* log-normal with median = base: a straggler factor of e^{sigma*g} *)
+let shard_time p rng = p.base_shard_s *. exp (p.straggler_sigma *. gaussian rng)
+
+let slowest_shard p rng =
+  let m = ref 0. in
+  for _ = 1 to p.shards do
+    m := Float.max !m (shard_time p rng)
+  done;
+  !m
+
+let get_latency p rng =
+  let queue = Lw_util.Det_rng.float rng p.batch_window_s in
+  p.rtt_s +. p.frontend_s +. queue +. slowest_shard p rng
+
+let page_load p ~code_fetch rng =
+  let code = if code_fetch then get_latency p rng else 0. in
+  let data =
+    if p.parallel_gets then
+      (* the k GETs join the same batch; the page waits for the slowest *)
+      let m = ref 0. in
+      let shared_queue = Lw_util.Det_rng.float rng p.batch_window_s in
+      for _ = 1 to p.gets_per_page do
+        m := Float.max !m (p.rtt_s +. p.frontend_s +. shared_queue +. slowest_shard p rng)
+      done;
+      !m
+    else begin
+      let total = ref 0. in
+      for _ = 1 to p.gets_per_page do
+        total := !total +. get_latency p rng
+      done;
+      !total
+    end
+  in
+  code +. data
+
+let simulate ?(samples = 2000) p ~code_fetch rng =
+  if samples < 1 then invalid_arg "Latency_model.simulate: samples < 1";
+  let xs = Array.init samples (fun _ -> page_load p ~code_fetch rng) in
+  let s = Lw_util.Stats.summarize xs in
+  {
+    mean_s = s.Lw_util.Stats.mean;
+    p50_s = s.Lw_util.Stats.p50;
+    p95_s = s.Lw_util.Stats.p95;
+    p99_s = s.Lw_util.Stats.p99;
+    min_s = s.Lw_util.Stats.min;
+    max_s = s.Lw_util.Stats.max;
+  }

@@ -1,0 +1,120 @@
+type params = {
+  arrival_rps : float;
+  batch_size : int;
+  batch_window_s : float;
+  scan_s : float;
+  per_request_s : float;
+  duration_s : float;
+}
+
+(* Fitting service(B) = scan + B·per_request to the paper's two measured
+   points — 0.51 s at B=1 and 16 x 0.167 = 2.67 s at B=16 — gives
+   per_request = 144 ms and a shared scan of 366 ms, and a capacity of
+   16/2.67 = 6.0 req/s: exactly the paper's reported batch-16 throughput. *)
+let paper_server ~arrival_rps =
+  {
+    arrival_rps;
+    batch_size = 16;
+    batch_window_s = 2.6;
+    scan_s = 0.366;
+    per_request_s = 0.144;
+    duration_s = 600.;
+  }
+
+type result = {
+  offered : int;
+  served : int;
+  throughput_rps : float;
+  mean_latency_s : float;
+  p50_latency_s : float;
+  p95_latency_s : float;
+  mean_batch_fill : float;
+  utilization : float;
+  saturated : bool;
+}
+
+let capacity_rps p =
+  float_of_int p.batch_size /. (p.scan_s +. (float_of_int p.batch_size *. p.per_request_s))
+
+let run p rng =
+  if p.arrival_rps <= 0. || p.duration_s <= 0. || p.batch_size < 1 then
+    invalid_arg "Queue_sim.run: bad parameters";
+  (* Poisson arrivals over the horizon *)
+  let arrivals = ref [] in
+  let t = ref 0. in
+  let n = ref 0 in
+  let draw () = -.log (max 1e-12 (Lw_util.Det_rng.float rng 1.0)) /. p.arrival_rps in
+  t := draw ();
+  while !t < p.duration_s do
+    arrivals := !t :: !arrivals;
+    incr n;
+    t := !t +. draw ()
+  done;
+  let arrivals = Array.of_list (List.rev !arrivals) in
+  let total = Array.length arrivals in
+  (* batch-service loop: admit arrivals up to the moment service could
+     start, then run one batch *)
+  let i = ref 0 in
+  let pending = Queue.create () in
+  let server_free = ref 0. in
+  let busy = ref 0. in
+  let latencies = ref [] in
+  let served = ref 0 in
+  let batches = ref 0 in
+  let horizon = p.duration_s +. (20. *. p.batch_window_s) in
+  let exception Done in
+  (try
+     while !i < total || not (Queue.is_empty pending) do
+       if Queue.is_empty pending then begin
+         Queue.push arrivals.(!i) pending;
+         incr i
+       end
+       else begin
+         let first = Queue.peek pending in
+         (* earliest service start given what is pending now *)
+         let rec settle () =
+           let start_candidate =
+             if Queue.length pending >= p.batch_size then
+               (* batch already full: go as soon as the server frees up *)
+               Float.max !server_free first
+             else Float.max !server_free (first +. p.batch_window_s)
+           in
+           if !i < total && arrivals.(!i) <= start_candidate then begin
+             Queue.push arrivals.(!i) pending;
+             incr i;
+             settle ()
+           end
+           else start_candidate
+         in
+         let t_start = settle () in
+         if t_start > horizon then raise Done;
+         let take = min p.batch_size (Queue.length pending) in
+         let service = p.scan_s +. (float_of_int take *. p.per_request_s) in
+         let t_done = t_start +. service in
+         for _ = 1 to take do
+           let a = Queue.pop pending in
+           latencies := (t_done -. a) :: !latencies;
+           incr served
+         done;
+         incr batches;
+         busy := !busy +. service;
+         server_free := t_done
+       end
+     done
+   with Done -> ());
+  let ls = Array.of_list !latencies in
+  let summary =
+    if Array.length ls = 0 then None else Some (Lw_util.Stats.summarize ls)
+  in
+  {
+    offered = total;
+    served = !served;
+    throughput_rps = (if !server_free > 0. then float_of_int !served /. !server_free else 0.);
+    mean_latency_s = (match summary with Some s -> s.Lw_util.Stats.mean | None -> 0.);
+    p50_latency_s = (match summary with Some s -> s.Lw_util.Stats.p50 | None -> 0.);
+    p95_latency_s = (match summary with Some s -> s.Lw_util.Stats.p95 | None -> 0.);
+    mean_batch_fill =
+      (if !batches = 0 then 0. else float_of_int !served /. float_of_int !batches);
+    utilization = (if !server_free > 0. then !busy /. !server_free else 0.);
+    saturated = !served < total;
+  }

@@ -1,0 +1,42 @@
+(** A batch-service queue simulation of one ZLTP data server (§5.1).
+
+    The server accumulates private-GETs and answers up to [batch_size] of
+    them with one fused scan; a partial batch is released [batch_window_s]
+    after its oldest request arrived. Requests arrive Poisson. This is the
+    queueing system implied by the paper's "batching requests to increase
+    throughput" — the simulation exposes the whole operating curve: the
+    throughput ceiling [batch / (scan + batch·per_request)], the latency
+    cliff as offered load approaches it, and the latency floor the batch
+    window sets at low load. *)
+
+type params = {
+  arrival_rps : float; (** Poisson offered load *)
+  batch_size : int;
+  batch_window_s : float;
+  scan_s : float; (** per-batch cost paid once (the shared data scan) *)
+  per_request_s : float; (** per-request cost inside a batch (DPF eval etc.) *)
+  duration_s : float;
+}
+
+val paper_server : arrival_rps:float -> params
+(** Service parameters fitted to the paper's two measured operating points
+    (0.51 s unbatched, 2.67 s for a 16-batch): 366 ms shared scan + 144 ms
+    per request, batch 16, 2.6 s window, 600 s horizon. The resulting
+    capacity is the paper's 6 req/s. *)
+
+type result = {
+  offered : int; (** requests that arrived *)
+  served : int;
+  throughput_rps : float;
+  mean_latency_s : float;
+  p50_latency_s : float;
+  p95_latency_s : float;
+  mean_batch_fill : float; (** average requests per executed batch *)
+  utilization : float; (** fraction of time the server was scanning *)
+  saturated : bool; (** backlog still growing at the end of the run *)
+}
+
+val capacity_rps : params -> float
+(** The analytic ceiling [batch / (scan + batch·per_request)]. *)
+
+val run : params -> Lw_util.Det_rng.t -> result

@@ -1,0 +1,31 @@
+type t = { n : int; cdf : float array }
+
+let create ?(exponent = 1.0) ~n () =
+  if n < 1 then invalid_arg "Zipf.create: n must be positive";
+  let weights = Array.init n (fun k -> 1. /. Float.pow (float_of_int (k + 1)) exponent) in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  cdf.(n - 1) <- 1.;
+  { n; cdf }
+
+let n t = t.n
+
+let sample t rng =
+  let u = Lw_util.Det_rng.float rng 1.0 in
+  (* first index with cdf >= u *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let probability t k =
+  if k < 0 || k >= t.n then invalid_arg "Zipf.probability: rank out of range";
+  if k = 0 then t.cdf.(0) else t.cdf.(k) -. t.cdf.(k - 1)

@@ -1,0 +1,1 @@
+lib/util/xorbuf.ml: Bytes Char Int64 Printf String

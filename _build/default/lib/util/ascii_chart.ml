@@ -1,0 +1,69 @@
+let bar ?(width = 40) ?(unit_ = "") rows =
+  match rows with
+  | [] -> "(no data)\n"
+  | _ ->
+      let max_v = List.fold_left (fun acc (_, v) -> Float.max acc v) 0. rows in
+      let max_label =
+        List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows
+      in
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun (label, v) ->
+          let filled =
+            if max_v <= 0. then 0 else int_of_float (Float.round (v /. max_v *. float_of_int width))
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%-*s |%s%s %g%s\n" max_label label (String.make filled '#')
+               (String.make (width - filled) ' ')
+               v unit_))
+        rows;
+      Buffer.contents buf
+
+let line ?(width = 60) ?(height = 12) ?(x_label = "") ?(y_label = "") points =
+  match points with
+  | [] -> "(no data)\n"
+  | _ ->
+      let xs = List.map fst points and ys = List.map snd points in
+      let x_min = List.fold_left Float.min (List.hd xs) xs in
+      let x_max = List.fold_left Float.max (List.hd xs) xs in
+      let y_min = List.fold_left Float.min (List.hd ys) ys in
+      let y_max = List.fold_left Float.max (List.hd ys) ys in
+      let x_span = if x_max = x_min then 1. else x_max -. x_min in
+      let y_span = if y_max = y_min then 1. else y_max -. y_min in
+      let grid = Array.make_matrix height width ' ' in
+      List.iter
+        (fun (x, y) ->
+          let col =
+            min (width - 1) (int_of_float ((x -. x_min) /. x_span *. float_of_int (width - 1)))
+          in
+          let row =
+            min (height - 1) (int_of_float ((y -. y_min) /. y_span *. float_of_int (height - 1)))
+          in
+          grid.(height - 1 - row).(col) <- '*')
+        points;
+      let buf = Buffer.create 1024 in
+      if y_label <> "" then Buffer.add_string buf (Printf.sprintf "%s\n" y_label);
+      Array.iteri
+        (fun i row ->
+          let annot =
+            if i = 0 then Printf.sprintf " %g" y_max
+            else if i = height - 1 then Printf.sprintf " %g" y_min
+            else ""
+          in
+          Buffer.add_string buf (Printf.sprintf "|%s%s\n" (String.init width (Array.get row)) annot))
+        grid;
+      Buffer.add_string buf (Printf.sprintf "+%s\n" (String.make width '-'));
+      Buffer.add_string buf
+        (Printf.sprintf " %-*g%*g  %s\n" (width / 2) x_min (width - (width / 2)) x_max x_label);
+      Buffer.contents buf
+
+let cdf ?(width = 60) ?(height = 12) samples =
+  match Array.length samples with
+  | 0 -> "(no data)\n"
+  | n ->
+      let sorted = Array.copy samples in
+      Array.sort compare sorted;
+      let points =
+        Array.to_list (Array.mapi (fun i v -> (v, float_of_int (i + 1) /. float_of_int n)) sorted)
+      in
+      line ~width ~height ~y_label:"P(X<=x)" points

@@ -1,0 +1,26 @@
+(** Terminal charts for the benchmark harness: the paper's "figures" are
+    regenerated as data rows plus these plots, so a bench run is
+    self-contained evidence without a plotting stack. *)
+
+val bar :
+  ?width:int ->
+  ?unit_:string ->
+  (string * float) list ->
+  string
+(** [bar rows] renders one horizontal bar per (label, value), scaled to
+    the maximum value; [width] is the bar column width (default 40). *)
+
+val line :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  (float * float) list ->
+  string
+(** [line points] renders a scatter/line plot on a [width] x [height]
+    character grid (defaults 60x12) with min/max axis annotations. Points
+    need not be sorted. *)
+
+val cdf : ?width:int -> ?height:int -> float array -> string
+(** [cdf samples] plots the empirical distribution function of a sample
+    (x: value, y: fraction ≤ x). *)

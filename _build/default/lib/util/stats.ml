@@ -1,0 +1,76 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.mean: empty sample";
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let stddev xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.stddev: empty sample";
+  if n = 1 then 0.
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let summarize xs =
+  if Array.length xs = 0 then invalid_arg "Stats.summarize: empty sample";
+  let mn = Array.fold_left min xs.(0) xs and mx = Array.fold_left max xs.(0) xs in
+  {
+    count = Array.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = mn;
+    max = mx;
+    p50 = percentile xs 50.;
+    p95 = percentile xs 95.;
+    p99 = percentile xs 99.;
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt "n=%d mean=%.6g sd=%.6g min=%.6g p50=%.6g p95=%.6g p99=%.6g max=%.6g"
+    s.count s.mean s.stddev s.min s.p50 s.p95 s.p99 s.max
+
+type histogram = { lo : float; hi : float; counts : int array; mutable total : int }
+
+let histogram ~buckets ~lo ~hi =
+  if buckets <= 0 || hi <= lo then invalid_arg "Stats.histogram";
+  { lo; hi; counts = Array.make buckets 0; total = 0 }
+
+let hist_add h x =
+  let buckets = Array.length h.counts in
+  let idx =
+    if x <= h.lo then 0
+    else if x >= h.hi then buckets - 1
+    else int_of_float ((x -. h.lo) /. (h.hi -. h.lo) *. float_of_int buckets)
+  in
+  let idx = min (buckets - 1) (max 0 idx) in
+  h.counts.(idx) <- h.counts.(idx) + 1;
+  h.total <- h.total + 1
+
+let hist_counts h = Array.copy h.counts
+let hist_total h = h.total

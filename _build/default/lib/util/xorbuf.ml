@@ -1,0 +1,35 @@
+let check_bounds name pos len total =
+  if pos < 0 || len < 0 || pos + len > total then
+    invalid_arg (Printf.sprintf "Xorbuf.%s: range out of bounds" name)
+
+(* The 64-bit inner loop reads/writes unaligned native-endian words; the
+   scalar tail handles the last [len mod 8] bytes. *)
+let xor_into ~src ~src_pos ~dst ~dst_pos ~len =
+  check_bounds "xor_into(src)" src_pos len (Bytes.length src);
+  check_bounds "xor_into(dst)" dst_pos len (Bytes.length dst);
+  let words = len / 8 in
+  for i = 0 to words - 1 do
+    let s = Bytes.get_int64_ne src (src_pos + (8 * i)) in
+    let d = Bytes.get_int64_ne dst (dst_pos + (8 * i)) in
+    Bytes.set_int64_ne dst (dst_pos + (8 * i)) (Int64.logxor s d)
+  done;
+  for i = 8 * words to len - 1 do
+    let s = Char.code (Bytes.unsafe_get src (src_pos + i)) in
+    let d = Char.code (Bytes.unsafe_get dst (dst_pos + i)) in
+    Bytes.unsafe_set dst (dst_pos + i) (Char.unsafe_chr (s lxor d))
+  done
+
+let xor_string_into ~src ~src_pos ~dst ~dst_pos ~len =
+  xor_into ~src:(Bytes.unsafe_of_string src) ~src_pos ~dst ~dst_pos ~len
+
+let xor a b =
+  let n = String.length a in
+  if String.length b <> n then invalid_arg "Xorbuf.xor: length mismatch";
+  let out = Bytes.of_string a in
+  xor_string_into ~src:b ~src_pos:0 ~dst:out ~dst_pos:0 ~len:n;
+  Bytes.unsafe_to_string out
+
+let is_zero s =
+  let acc = ref 0 in
+  String.iter (fun c -> acc := !acc lor Char.code c) s;
+  !acc = 0

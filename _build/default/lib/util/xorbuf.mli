@@ -1,0 +1,19 @@
+(** Fast XOR over byte buffers.
+
+    The PIR data scan is dominated by XOR-accumulating fixed-size buckets
+    into a response buffer, so these loops work 64 bits at a time. *)
+
+val xor_into : src:Bytes.t -> src_pos:int -> dst:Bytes.t -> dst_pos:int -> len:int -> unit
+(** [xor_into ~src ~src_pos ~dst ~dst_pos ~len] XORs [len] bytes of [src]
+    (from [src_pos]) into [dst] (at [dst_pos]). Bounds are checked once up
+    front; raises [Invalid_argument] when a range is out of bounds. *)
+
+val xor_string_into : src:string -> src_pos:int -> dst:Bytes.t -> dst_pos:int -> len:int -> unit
+(** Same as {!xor_into} with an immutable source. *)
+
+val xor : string -> string -> string
+(** [xor a b] is the bytewise XOR of two equal-length strings. Raises
+    [Invalid_argument] if lengths differ. *)
+
+val is_zero : string -> bool
+(** [is_zero s] is true iff every byte of [s] is ['\x00']. *)

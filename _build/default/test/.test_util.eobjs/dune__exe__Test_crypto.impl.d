@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Bytes Char Gen List Lw_crypto Lw_util Printf QCheck QCheck_alcotest Result String

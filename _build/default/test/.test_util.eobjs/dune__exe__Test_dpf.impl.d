@@ -1,0 +1,1 @@
+test/test_dpf.ml: Alcotest Array Bytes Char Distributed Dpf Gen Hashtbl List Lw_crypto Lw_dpf Lw_util Prg Printf QCheck QCheck_alcotest String

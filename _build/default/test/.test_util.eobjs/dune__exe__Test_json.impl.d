@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Json List Lw_json Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lightscript.ml: Alcotest Format Gen Lightscript Lightweb List Lw_json Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Bytes Char Endpoint Filename Frame List Lw_crypto Lw_net Printf Secure_channel String Sys Tcp Thread Wan

@@ -1,0 +1,1 @@
+test/test_oram.ml: Alcotest Array Enclave Gen Hashtbl List Lw_crypto Lw_oram Lw_util Path_oram Printf QCheck QCheck_alcotest String

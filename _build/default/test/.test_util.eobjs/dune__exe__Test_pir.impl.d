@@ -1,0 +1,1 @@
+test/test_pir.ml: Alcotest Array Baselines Bucket_db Bytes Client Cuckoo Gen Keymap List Lw_crypto Lw_dpf Lw_pir Lw_util Printf QCheck QCheck_alcotest Record Result Server Store String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Corpus Cost_model Fingerprint Float Heavy_hitters Int64 Latency_model Lightweb List Lw_crypto Lw_sim Lw_util Printf QCheck QCheck_alcotest Queue_sim Workload Zipf

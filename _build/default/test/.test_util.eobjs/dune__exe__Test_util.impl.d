@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Char Gen List Lw_util Printf QCheck QCheck_alcotest String

@@ -1,0 +1,210 @@
+let test_hex_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) "roundtrip" s (Lw_util.Hex.decode (Lw_util.Hex.encode s)))
+    [ ""; "\x00"; "abc"; String.init 256 Char.chr ]
+
+let test_hex_decode_cases () =
+  Alcotest.(check string) "upper" "\xde\xad\xbe\xef" (Lw_util.Hex.decode "DEADBEEF");
+  Alcotest.(check (option string)) "odd" None (Lw_util.Hex.decode_opt "abc");
+  Alcotest.(check (option string)) "bad char" None (Lw_util.Hex.decode_opt "zz");
+  Alcotest.(check (option string)) "ok" (Some "\x01\x02") (Lw_util.Hex.decode_opt "0102")
+
+let test_xor_basic () =
+  Alcotest.(check string) "self-inverse" "abc" (Lw_util.Xorbuf.xor (Lw_util.Xorbuf.xor "abc" "xyz") "xyz");
+  Alcotest.(check string) "zero" "abc" (Lw_util.Xorbuf.xor "abc" "\x00\x00\x00");
+  Alcotest.check_raises "length mismatch" (Invalid_argument "Xorbuf.xor: length mismatch")
+    (fun () -> ignore (Lw_util.Xorbuf.xor "ab" "abc"))
+
+let test_xor_into_offsets () =
+  (* exercise the word loop + tail across alignments *)
+  List.iter
+    (fun (len, spos, dpos) ->
+      let src = Bytes.init 64 (fun i -> Char.chr (i land 0xff)) in
+      let dst = Bytes.make 64 '\x55' in
+      let expected =
+        Bytes.init 64 (fun i ->
+            if i >= dpos && i < dpos + len then
+              Char.chr (0x55 lxor Char.code (Bytes.get src (spos + i - dpos)))
+            else '\x55')
+      in
+      Lw_util.Xorbuf.xor_into ~src ~src_pos:spos ~dst ~dst_pos:dpos ~len;
+      Alcotest.(check string)
+        (Printf.sprintf "len=%d s=%d d=%d" len spos dpos)
+        (Bytes.to_string expected) (Bytes.to_string dst))
+    [ (0, 0, 0); (1, 0, 0); (7, 3, 5); (8, 1, 2); (9, 0, 0); (16, 8, 8); (33, 7, 13) ]
+
+let test_xor_bounds () =
+  let b = Bytes.make 8 '\x00' in
+  Alcotest.check_raises "src overflow"
+    (Invalid_argument "Xorbuf.xor_into(src): range out of bounds") (fun () ->
+      Lw_util.Xorbuf.xor_into ~src:b ~src_pos:4 ~dst:(Bytes.make 32 '\x00') ~dst_pos:0 ~len:8)
+
+let test_is_zero () =
+  Alcotest.(check bool) "zero" true (Lw_util.Xorbuf.is_zero "\x00\x00");
+  Alcotest.(check bool) "nonzero" false (Lw_util.Xorbuf.is_zero "\x00\x01");
+  Alcotest.(check bool) "empty" true (Lw_util.Xorbuf.is_zero "")
+
+let test_bitops () =
+  Alcotest.(check int32) "rotl32" 0x00000001l (Lw_util.Bitops.rotl32 0x80000000l 1);
+  Alcotest.(check int) "popcount" 3 (Lw_util.Bitops.popcount 0b1011);
+  Alcotest.(check int) "log2_ceil 1" 0 (Lw_util.Bitops.log2_ceil 1);
+  Alcotest.(check int) "log2_ceil 5" 3 (Lw_util.Bitops.log2_ceil 5);
+  Alcotest.(check int) "log2_ceil 8" 3 (Lw_util.Bitops.log2_ceil 8);
+  Alcotest.(check int) "log2_floor 5" 2 (Lw_util.Bitops.log2_floor 5);
+  Alcotest.(check bool) "pow2 yes" true (Lw_util.Bitops.is_power_of_two 64);
+  Alcotest.(check bool) "pow2 no" false (Lw_util.Bitops.is_power_of_two 48);
+  Alcotest.(check bool) "pow2 zero" false (Lw_util.Bitops.is_power_of_two 0);
+  Alcotest.(check int) "bit" 1 (Lw_util.Bitops.bit 0b100 2);
+  Alcotest.(check int) "bit_msb top" 1 (Lw_util.Bitops.bit_msb 0b100 ~width:3 0);
+  Alcotest.(check int) "bit_msb bottom" 0 (Lw_util.Bitops.bit_msb 0b100 ~width:3 2);
+  Alcotest.(check int) "ceil_div" 3 (Lw_util.Bitops.ceil_div 9 4);
+  Alcotest.(check int) "ceil_div exact" 2 (Lw_util.Bitops.ceil_div 8 4);
+  Alcotest.(check int) "round_up" 12 (Lw_util.Bitops.round_up 9 ~multiple:4)
+
+let test_det_rng_determinism () =
+  let a = Lw_util.Det_rng.create 42L and b = Lw_util.Det_rng.create 42L in
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "same" (Lw_util.Det_rng.next_int64 a) (Lw_util.Det_rng.next_int64 b)
+  done
+
+let test_det_rng_split_independence () =
+  let a = Lw_util.Det_rng.create 42L in
+  let c = Lw_util.Det_rng.split a in
+  Alcotest.(check bool) "diverge" true
+    (Lw_util.Det_rng.next_int64 a <> Lw_util.Det_rng.next_int64 c)
+
+let test_det_rng_bounds () =
+  let rng = Lw_util.Det_rng.of_string_seed "bounds" in
+  for _ = 1 to 500 do
+    let v = Lw_util.Det_rng.int rng 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10)
+  done;
+  for _ = 1 to 100 do
+    let f = Lw_util.Det_rng.float rng 2.5 in
+    Alcotest.(check bool) "float range" true (f >= 0. && f < 2.5)
+  done
+
+let test_det_rng_bytes () =
+  let rng = Lw_util.Det_rng.of_string_seed "bytes" in
+  List.iter
+    (fun n -> Alcotest.(check int) "len" n (String.length (Lw_util.Det_rng.bytes rng n)))
+    [ 0; 1; 7; 8; 9; 100 ]
+
+let test_det_rng_shuffle_permutes () =
+  let rng = Lw_util.Det_rng.of_string_seed "shuffle" in
+  let a = Array.init 100 (fun i -> i) in
+  Lw_util.Det_rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 100 (fun i -> i)) sorted
+
+let test_stats_summary () =
+  let s = Lw_util.Stats.summarize [| 1.; 2.; 3.; 4.; 5. |] in
+  Alcotest.(check int) "count" 5 s.count;
+  Alcotest.(check (float 1e-9)) "mean" 3.0 s.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.min;
+  Alcotest.(check (float 1e-9)) "max" 5.0 s.max;
+  Alcotest.(check (float 1e-9)) "p50" 3.0 s.p50;
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.5) s.stddev
+
+let test_stats_percentile_interpolation () =
+  Alcotest.(check (float 1e-9)) "p25" 1.5 (Lw_util.Stats.percentile [| 1.; 2.; 3. |] 25.);
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Lw_util.Stats.percentile [| 3.; 1.; 2. |] 0.);
+  Alcotest.(check (float 1e-9)) "p100" 3.0 (Lw_util.Stats.percentile [| 3.; 1.; 2. |] 100.)
+
+let test_stats_histogram () =
+  let h = Lw_util.Stats.histogram ~buckets:4 ~lo:0. ~hi:4. in
+  List.iter (Lw_util.Stats.hist_add h) [ 0.5; 1.5; 1.7; 3.9; -1.; 10. ];
+  Alcotest.(check (array int)) "counts" [| 2; 2; 0; 2 |] (Lw_util.Stats.hist_counts h);
+  Alcotest.(check int) "total" 6 (Lw_util.Stats.hist_total h)
+
+let test_ascii_bar () =
+  let out = Lw_util.Ascii_chart.bar ~width:10 [ ("aa", 10.); ("b", 5.); ("c", 0.) ] in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  Alcotest.(check int) "three rows" 3 (List.length lines);
+  (match lines with
+  | [ a; b; c ] ->
+      Alcotest.(check bool) "full bar" true
+        (String.length a >= 14 && String.sub a 4 10 = String.make 10 '#');
+      Alcotest.(check bool) "half bar" true
+        (let hashes = List.length (String.split_on_char '#' b) - 1 in
+         hashes = 5);
+      Alcotest.(check bool) "empty bar" true (not (String.contains c '#'))
+  | _ -> Alcotest.fail "unexpected shape");
+  Alcotest.(check string) "no data" "(no data)\n" (Lw_util.Ascii_chart.bar [])
+
+let test_ascii_line_and_cdf () =
+  let out =
+    Lw_util.Ascii_chart.line ~width:20 ~height:5 [ (0., 0.); (1., 1.); (2., 4.) ]
+  in
+  Alcotest.(check bool) "has stars" true (String.contains out '*');
+  Alcotest.(check bool) "has axis" true (String.contains out '+');
+  (* constant series doesn't divide by zero *)
+  let flat = Lw_util.Ascii_chart.line ~width:10 ~height:3 [ (1., 2.); (2., 2.) ] in
+  Alcotest.(check bool) "flat ok" true (String.contains flat '*');
+  let cdf = Lw_util.Ascii_chart.cdf ~width:20 ~height:5 [| 1.; 2.; 3.; 4. |] in
+  Alcotest.(check bool) "cdf renders" true (String.contains cdf '*');
+  Alcotest.(check string) "cdf empty" "(no data)\n" (Lw_util.Ascii_chart.cdf [||])
+
+let prop_rng_int_uniformish =
+  QCheck.Test.make ~name:"det_rng int covers all residues" ~count:20
+    QCheck.(int_range 2 30)
+    (fun bound ->
+      let rng = Lw_util.Det_rng.of_string_seed (string_of_int bound) in
+      let seen = Array.make bound false in
+      for _ = 1 to bound * 50 do
+        seen.(Lw_util.Det_rng.int rng bound) <- true
+      done;
+      Array.for_all (fun x -> x) seen)
+
+let prop_xor_associative =
+  QCheck.Test.make ~name:"xor associativity" ~count:100
+    QCheck.(triple (string_of_size Gen.(1 -- 64)) small_string small_string)
+    (fun (a, _, _) ->
+      let n = String.length a in
+      let rng = Lw_util.Det_rng.of_string_seed a in
+      let b = Lw_util.Det_rng.bytes rng n and c = Lw_util.Det_rng.bytes rng n in
+      String.equal
+        (Lw_util.Xorbuf.xor (Lw_util.Xorbuf.xor a b) c)
+        (Lw_util.Xorbuf.xor a (Lw_util.Xorbuf.xor b c)))
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_rng_int_uniformish; prop_xor_associative ]
+
+let () =
+  Alcotest.run "lw_util"
+    [
+      ( "hex",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_hex_roundtrip;
+          Alcotest.test_case "decode cases" `Quick test_hex_decode_cases;
+        ] );
+      ( "xorbuf",
+        [
+          Alcotest.test_case "basic" `Quick test_xor_basic;
+          Alcotest.test_case "offsets" `Quick test_xor_into_offsets;
+          Alcotest.test_case "bounds" `Quick test_xor_bounds;
+          Alcotest.test_case "is_zero" `Quick test_is_zero;
+        ] );
+      ("bitops", [ Alcotest.test_case "all" `Quick test_bitops ]);
+      ( "det_rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_det_rng_determinism;
+          Alcotest.test_case "split independence" `Quick test_det_rng_split_independence;
+          Alcotest.test_case "bounds" `Quick test_det_rng_bounds;
+          Alcotest.test_case "bytes" `Quick test_det_rng_bytes;
+          Alcotest.test_case "shuffle permutes" `Quick test_det_rng_shuffle_permutes;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "percentile interpolation" `Quick test_stats_percentile_interpolation;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+        ] );
+      ( "ascii-chart",
+        [
+          Alcotest.test_case "bar" `Quick test_ascii_bar;
+          Alcotest.test_case "line and cdf" `Quick test_ascii_line_and_cdf;
+        ] );
+      ("properties", props);
+    ]
