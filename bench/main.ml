@@ -765,6 +765,31 @@ let e17_queue () =
     cap
 
 (* ------------------------------------------------------------------ *)
+(* E18: cost of the lw_analysis lint pass over the repo's own sources  *)
+(* ------------------------------------------------------------------ *)
+
+let e18_lint_cost () =
+  section "E18" "lw_analysis lint pass: scan cost over the repo's own lib/";
+  match Lw_analysis.Analyzer.resolve_dir "lib" with
+  | None -> Printf.printf "lib/ sources not reachable from cwd; skipping.\n"
+  | Some lib ->
+      let reps = if fast then 1 else 3 in
+      let best = ref None in
+      for _ = 1 to reps do
+        let r = Lw_analysis.Analyzer.scan_paths [ lib ] in
+        match !best with
+        | Some (b : Lw_analysis.Report.t) when b.elapsed_s <= r.elapsed_s -> ()
+        | _ -> best := Some r
+      done;
+      let r = Option.get !best in
+      row "%-20s %8d\n" "files scanned" r.Lw_analysis.Report.files_scanned;
+      row "%-20s %8d\n" "findings" (List.length r.findings);
+      row "%-20s %8d\n" "suppressed" r.suppressed;
+      row "%-20s %8.1f ms (best of %d)\n" "wall-clock" (1000. *. r.elapsed_s) reps;
+      Printf.printf "\njson: %s\n"
+        (Lw_json.Json.to_string (Lw_analysis.Report.to_json r))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Printf.printf "lightweb benchmark harness%s\n" (if fast then " (--fast)" else "");
@@ -796,4 +821,5 @@ let () =
   e15_latency ();
   e16_heavy_hitters ();
   e17_queue ();
+  e18_lint_cost ();
   Printf.printf "\nall experiments complete.\n"

@@ -1,0 +1,39 @@
+(* lw_lint [--json] [paths...]
+   Side-channel & hygiene lint over OCaml sources (default: lib/).
+   Exit status: 0 clean, 1 findings, 2 usage/IO error. *)
+
+let usage () =
+  prerr_endline "usage: lw_lint [--json] [paths...]";
+  prerr_endline "  --json   emit the report as JSON instead of human-readable text";
+  prerr_endline "  paths    .ml files or directories to scan (default: lib)";
+  exit 2
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.exists (fun a -> a = "--help" || a = "-help") args then usage ();
+  let json = List.mem "--json" args in
+  let paths = List.filter (fun a -> a <> "--json") args in
+  (match List.find_opt (fun a -> String.length a > 0 && a.[0] = '-') paths with
+  | Some flag ->
+      Printf.eprintf "lw_lint: unknown option %s\n" flag;
+      usage ()
+  | None -> ());
+  let paths =
+    match paths with
+    | [] -> (
+        match Lw_analysis.Analyzer.resolve_dir "lib" with
+        | Some lib -> [ lib ]
+        | None ->
+            prerr_endline "lw_lint: no paths given and no lib/ directory found";
+            exit 2)
+    | ps -> ps
+  in
+  (match List.find_opt (fun p -> not (Sys.file_exists p)) paths with
+  | Some missing ->
+      Printf.eprintf "lw_lint: no such file or directory: %s\n" missing;
+      exit 2
+  | None -> ());
+  let report = Lw_analysis.Analyzer.scan_paths paths in
+  if json then print_endline (Lw_json.Json.to_string (Lw_analysis.Report.to_json report))
+  else print_string (Lw_analysis.Report.to_human report);
+  exit (if Lw_analysis.Report.clean report then 0 else 1)

@@ -1,0 +1,124 @@
+(* The lint driver: walks OCaml sources, runs every applicable rule, and
+   honours the two in-source pragmas:
+
+     (* lw-lint: allow <rule> ... *)   suppress the named rules on the
+                                       pragma's line and the next line
+     (* lw-lint: secret <name> ... *)  flag identifiers as secret for
+                                       this file (rules 1 and 2)
+
+   The one-line reach of [allow] keeps suppressions next to the code they
+   excuse — a file-wide waiver has to be spelled per-line, on purpose. *)
+
+let pragma_prefix = "lw-lint:"
+
+type pragmas = {
+  allows : (int * string, unit) Hashtbl.t; (* (line, rule) -> suppressed *)
+  secrets : (string, unit) Hashtbl.t;
+}
+
+let words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\n')
+  |> List.filter (fun w -> w <> "")
+
+let collect_pragmas tokens =
+  let p = { allows = Hashtbl.create 8; secrets = Hashtbl.create 8 } in
+  Array.iter
+    (fun { Lexer.kind; line } ->
+      match kind with
+      | Lexer.Comment body -> (
+          match words (String.trim body) with
+          | first :: rest when first = pragma_prefix -> (
+              match rest with
+              | "allow" :: rules ->
+                  List.iter
+                    (fun r ->
+                      Hashtbl.replace p.allows (line, r) ();
+                      Hashtbl.replace p.allows (line + 1, r) ())
+                    rules
+              | "secret" :: names ->
+                  List.iter (fun n -> Hashtbl.replace p.secrets n ()) names
+              | _ -> ())
+          | _ -> ())
+      | _ -> ())
+    tokens;
+  p
+
+let path_segments path =
+  String.split_on_char '/' path |> List.filter (fun s -> s <> "" && s <> "." && s <> "..")
+
+let basename path =
+  match List.rev (path_segments path) with [] -> path | b :: _ -> b
+
+type file_result = {
+  findings : Report.finding list;
+  suppressed : int;
+}
+
+(* Lint one already-loaded source. [path] decides which rules apply, so
+   tests can hand in fixture snippets under virtual paths like
+   "lib/crypto/fixture.ml". *)
+let scan_source ?(rules = Rules.all) ~path src =
+  let tokens = Lexer.tokenize src in
+  let pragmas = collect_pragmas tokens in
+  let ctx =
+    {
+      Rules.path;
+      path_segments = path_segments path;
+      basename = basename path;
+      secrets = pragmas.secrets;
+    }
+  in
+  let raw =
+    List.concat_map
+      (fun r -> if r.Rules.applies ctx then r.Rules.check ctx tokens else [])
+      rules
+  in
+  let kept, dropped =
+    List.partition
+      (fun f -> not (Hashtbl.mem pragmas.allows (f.Report.line, f.Report.rule)))
+      raw
+  in
+  { findings = kept; suppressed = List.length dropped }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let skip_dirs = [ "_build"; ".git"; "_opam"; "node_modules" ]
+
+let rec ml_files_under path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun entry ->
+           if List.mem entry skip_dirs then []
+           else ml_files_under (Filename.concat path entry))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+(* Lint every .ml file under [paths] (files or directories). *)
+let scan_paths ?(rules = Rules.all) paths =
+  let t0 = Unix.gettimeofday () (* lw-lint: allow nondeterminism *) in
+  let files = List.concat_map ml_files_under paths in
+  let results =
+    List.concat_map
+      (fun f ->
+        let r = scan_source ~rules ~path:f (read_file f) in
+        [ r ])
+      files
+  in
+  let elapsed = Unix.gettimeofday () -. t0 (* lw-lint: allow nondeterminism *) in
+  Report.make ~files_scanned:(List.length files)
+    ~findings:(List.concat_map (fun r -> r.findings) results)
+    ~suppressed:(List.fold_left (fun a r -> a + r.suppressed) 0 results)
+    ~elapsed_s:elapsed
+
+(* Resolve a repo-relative directory such as "lib" from wherever the
+   process happens to run: the source root, test/ inside _build, or the
+   _build context root itself. *)
+let resolve_dir name =
+  let candidates = [ name; Filename.concat ".." name; Filename.concat "../.." name ] in
+  List.find_opt (fun p -> Sys.file_exists p && Sys.is_directory p) candidates

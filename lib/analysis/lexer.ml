@@ -1,0 +1,300 @@
+(* A comment/string-aware token scanner for OCaml sources.
+
+   This is not a full OCaml lexer: it produces just enough structure for
+   lint rules to work on — dotted identifiers joined into one token
+   ("String.equal"), keywords classified, string/char/number literals
+   opaque, comments preserved (they carry the lint pragmas), and a line
+   number on every token. The cursor-over-string shape follows the
+   recursive-descent style used by [Lw_json.Json]; the token-stream
+   organisation (base scanner + literal sub-lexers) mirrors the lexer
+   split in the sdc compiler sources. *)
+
+type kind =
+  | Ident of string (* possibly dotted: "Lw_crypto.Ct.equal" *)
+  | Keyword of string
+  | Str (* string literal, "..." or {|...|} *)
+  | Chr (* character literal *)
+  | Num (* numeric literal *)
+  | Op of string (* maximal run of symbol characters: "=", "<>", "->" *)
+  | Comment of string (* body between (* and *), nested comments inlined *)
+
+type token = { kind : kind; line : int }
+
+let keywords =
+  [
+    "and"; "as"; "assert"; "asr"; "begin"; "class"; "constraint"; "do"; "done";
+    "downto"; "else"; "end"; "exception"; "external"; "false"; "for"; "fun";
+    "function"; "functor"; "if"; "in"; "include"; "inherit"; "initializer";
+    "land"; "lazy"; "let"; "lor"; "lsl"; "lsr"; "lxor"; "match"; "method";
+    "mod"; "module"; "mutable"; "new"; "nonrec"; "object"; "of"; "open"; "or";
+    "private"; "rec"; "sig"; "struct"; "then"; "to"; "true"; "try"; "type";
+    "val"; "virtual"; "when"; "while"; "with";
+  ]
+
+let keyword_set : (string, unit) Hashtbl.t =
+  let h = Hashtbl.create 64 in
+  List.iter (fun k -> Hashtbl.replace h k ()) keywords;
+  h
+
+let is_keyword s = Hashtbl.mem keyword_set s
+
+type cursor = { src : string; mutable pos : int; mutable line : int }
+
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let peek_at cur off =
+  if cur.pos + off < String.length cur.src then Some cur.src.[cur.pos + off] else None
+
+let advance cur =
+  (match peek cur with Some '\n' -> cur.line <- cur.line + 1 | _ -> ());
+  cur.pos <- cur.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+let is_digit c = c >= '0' && c <= '9'
+
+let is_op_char c =
+  match c with
+  | '!' | '$' | '%' | '&' | '*' | '+' | '-' | '.' | '/' | ':' | '<' | '=' | '>'
+  | '?' | '@' | '^' | '|' | '~' | ';' | ',' | '#' ->
+      true
+  | _ -> false
+
+(* Consume a double-quoted string body; the opening quote has been
+   consumed. An escape consumes the backslash and the next character,
+   which is enough to step over escaped quotes and escaped backslashes
+   (multi-character escapes lex as escape + plain characters). *)
+let skip_string_body cur =
+  let rec go () =
+    match peek cur with
+    | None -> () (* unterminated: tolerate, we are a linter *)
+    | Some '"' -> advance cur
+    | Some '\\' ->
+        advance cur;
+        (match peek cur with Some _ -> advance cur | None -> ());
+        go ()
+    | Some _ ->
+        advance cur;
+        go ()
+  in
+  go ()
+
+(* {id|...|id} quoted string; cursor is on '{'. Returns true when it
+   really was a quoted string (and consumes it), false otherwise. *)
+let try_quoted_string cur =
+  let n = String.length cur.src in
+  let j = ref (cur.pos + 1) in
+  while
+    !j < n && ((cur.src.[!j] >= 'a' && cur.src.[!j] <= 'z') || cur.src.[!j] = '_')
+  do
+    incr j
+  done;
+  if !j < n && cur.src.[!j] = '|' then begin
+    let delim = String.sub cur.src (cur.pos + 1) (!j - cur.pos - 1) in
+    let closing = "|" ^ delim ^ "}" in
+    let clen = String.length closing in
+    (* move past the opening brace, delimiter, and pipe *)
+    while cur.pos <= !j do
+      advance cur
+    done;
+    let rec find () =
+      if cur.pos + clen > n then () (* unterminated *)
+      else if String.sub cur.src cur.pos clen = closing then
+        for _ = 1 to clen do
+          advance cur
+        done
+      else begin
+        advance cur;
+        find ()
+      end
+    in
+    find ();
+    true
+  end
+  else false
+
+(* Comment body with nesting; cursor is just past the opening "(*".
+   Strings inside comments are skipped like real OCaml comments do, so a
+   "*)" inside a quoted string does not close the comment. *)
+let read_comment_body cur =
+  let buf = Buffer.create 32 in
+  let depth = ref 1 in
+  let rec go () =
+    match peek cur with
+    | None -> ()
+    | Some '(' when peek_at cur 1 = Some '*' ->
+        incr depth;
+        Buffer.add_string buf "(*";
+        advance cur;
+        advance cur;
+        go ()
+    | Some '*' when peek_at cur 1 = Some ')' ->
+        advance cur;
+        advance cur;
+        decr depth;
+        if !depth > 0 then begin
+          Buffer.add_string buf "*)";
+          go ()
+        end
+    | Some '"' ->
+        Buffer.add_char buf '"';
+        advance cur;
+        skip_string_body cur;
+        go ()
+    | Some c ->
+        Buffer.add_char buf c;
+        advance cur;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+(* Character literal vs. type variable, cursor on the opening quote.
+   'a' / '\n' / '\xff' are literals; 'a in [type 'a t] is not. *)
+let is_char_literal cur =
+  match peek_at cur 1 with
+  | Some '\\' -> true
+  | Some _ -> peek_at cur 2 = Some '\''
+  | None -> false
+
+let skip_char_literal cur =
+  advance cur;
+  (* opening ' *)
+  (match peek cur with
+  | Some '\\' ->
+      advance cur;
+      (* escape lead character *)
+      (match peek cur with Some _ -> advance cur | None -> ());
+      (* numeric escapes: consume up to the closing quote *)
+      let rec close n =
+        if n > 0 then
+          match peek cur with
+          | Some '\'' | None -> ()
+          | Some _ ->
+              advance cur;
+              close (n - 1)
+      in
+      close 3
+  | Some _ -> advance cur
+  | None -> ());
+  match peek cur with Some '\'' -> advance cur | _ -> ()
+
+let read_ident cur =
+  let start = cur.pos in
+  while match peek cur with Some c when is_ident_char c -> true | _ -> false do
+    advance cur
+  done;
+  let buf = Buffer.create 16 in
+  Buffer.add_string buf (String.sub cur.src start (cur.pos - start));
+  (* join dotted paths: Module.sub.field — but not Module.( or s.[i] *)
+  let rec join () =
+    match (peek cur, peek_at cur 1) with
+    | Some '.', Some c when is_ident_start c ->
+        advance cur;
+        Buffer.add_char buf '.';
+        let s = cur.pos in
+        while match peek cur with Some c when is_ident_char c -> true | _ -> false do
+          advance cur
+        done;
+        Buffer.add_string buf (String.sub cur.src s (cur.pos - s));
+        join ()
+    | _ -> ()
+  in
+  join ();
+  Buffer.contents buf
+
+let skip_number cur =
+  let consume () =
+    match peek cur with
+    | Some c
+      when is_digit c || is_ident_start c || c = '.'
+           || ((c = '+' || c = '-')
+              && match peek_at cur (-1) with Some ('e' | 'E') -> true | _ -> false) ->
+        advance cur;
+        true
+    | _ -> false
+  in
+  while consume () do
+    ()
+  done
+
+let read_op cur =
+  let start = cur.pos in
+  while match peek cur with Some c when is_op_char c -> true | _ -> false do
+    advance cur
+  done;
+  String.sub cur.src start (cur.pos - start)
+
+let tokenize src =
+  let cur = { src; pos = 0; line = 1 } in
+  let out = ref [] in
+  let emit line kind = out := { kind; line } :: !out in
+  let rec go () =
+    match peek cur with
+    | None -> ()
+    | Some (' ' | '\t' | '\r' | '\n') ->
+        advance cur;
+        go ()
+    | Some '(' when peek_at cur 1 = Some '*' ->
+        let line = cur.line in
+        advance cur;
+        advance cur;
+        emit line (Comment (read_comment_body cur));
+        go ()
+    | Some '"' ->
+        let line = cur.line in
+        advance cur;
+        skip_string_body cur;
+        emit line Str;
+        go ()
+    | Some '{' ->
+        let line = cur.line in
+        if try_quoted_string cur then emit line Str
+        else begin
+          advance cur;
+          emit line (Op "{")
+        end;
+        go ()
+    | Some '\'' when is_char_literal cur ->
+        let line = cur.line in
+        skip_char_literal cur;
+        emit line Chr;
+        go ()
+    | Some '\'' ->
+        (* type variable: skip the quote and the identifier *)
+        advance cur;
+        while match peek cur with Some c when is_ident_char c -> true | _ -> false do
+          advance cur
+        done;
+        go ()
+    | Some c when is_digit c ->
+        let line = cur.line in
+        skip_number cur;
+        emit line Num;
+        go ()
+    | Some c when is_ident_start c ->
+        let line = cur.line in
+        let name = read_ident cur in
+        emit line (if is_keyword name then Keyword name else Ident name);
+        go ()
+    | Some c when is_op_char c ->
+        let line = cur.line in
+        emit line (Op (read_op cur));
+        go ()
+    | Some ('(' | ')' | '[' | ']' | '}') ->
+        let line = cur.line in
+        let c = cur.src.[cur.pos] in
+        advance cur;
+        emit line (Op (String.make 1 c));
+        go ()
+    | Some _ ->
+        advance cur;
+        go ()
+  in
+  go ();
+  Array.of_list (List.rev !out)
+
+(* [segments "A.B.c"] is ["A"; "B"; "c"] — rules match secret flags
+   against whole names or any component (so [k.cond] still trips a rule
+   on [cond]). *)
+let segments name = String.split_on_char '.' name

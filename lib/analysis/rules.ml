@@ -1,0 +1,255 @@
+(* The lint rule set. Each rule is keyed to a claim row in SECURITY.md:
+   the analyzer enforces mechanically what the threat model promises in
+   prose. Rules work on the token stream from [Lexer]; none of them
+   parse types, so secret-value rules are driven by explicit per-file
+   flags: [(* lw-lint: secret name ... *)] marks identifiers whose
+   timing must not depend on control flow. *)
+
+type context = {
+  path : string; (* as given on the command line / in tests *)
+  path_segments : string list;
+  basename : string;
+  secrets : (string, unit) Hashtbl.t; (* from "lw-lint: secret" pragmas *)
+}
+
+type t = {
+  name : string;
+  doc : string;
+  applies : context -> bool;
+  check : context -> Lexer.token array -> Report.finding list;
+}
+
+let has_segment ctx s = List.mem s ctx.path_segments
+let in_lib ctx = has_segment ctx "lib"
+
+let in_sensitive ctx =
+  in_lib ctx && (has_segment ctx "crypto" || has_segment ctx "dpf" || has_segment ctx "oram")
+
+(* An identifier is secret-flagged when its full dotted name or any
+   component is flagged, so [k.cond] trips a flag on [cond]. *)
+let is_secret ctx name =
+  Hashtbl.mem ctx.secrets name
+  || List.exists (Hashtbl.mem ctx.secrets) (Lexer.segments name)
+
+let finding ctx rule line message = { Report.rule; file = ctx.path; line; message }
+
+let matches_any name ~exact ~prefixes =
+  List.mem name exact || List.exists (fun p -> String.starts_with ~prefix:p name) prefixes
+
+(* Generic "these identifiers are banned here" scan. *)
+let banned_ident_check ~exact ~prefixes ~msg rule_name ctx tokens =
+  Array.to_list tokens
+  |> List.filter_map (fun { Lexer.kind; line } ->
+         match kind with
+         | Lexer.Ident name when matches_any name ~exact ~prefixes ->
+             Some (finding ctx rule_name line (msg name))
+         | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Rule 1: constant-time comparisons in crypto/dpf/oram.               *)
+(* ------------------------------------------------------------------ *)
+
+let variable_time_compares =
+  [
+    "String.equal"; "Bytes.equal"; "String.compare"; "Bytes.compare";
+    "Stdlib.compare"; "compare"; "Digest.equal"; "Digest.compare";
+  ]
+
+let ct_equality =
+  {
+    name = "ct-equality";
+    doc =
+      "lib/{crypto,dpf,oram} must compare with Ct.equal: library equality \
+       short-circuits on the first differing byte";
+    applies = in_sensitive;
+    check =
+      (fun ctx tokens ->
+        let named =
+          banned_ident_check ~exact:variable_time_compares ~prefixes:[]
+            ~msg:(fun name ->
+              Printf.sprintf
+                "variable-time comparison %s in a constant-time module; use Ct.equal"
+                name)
+            "ct-equality" ctx tokens
+        in
+        (* polymorphic =/<> on a secret-flagged identifier: a token-level
+           scanner cannot type arbitrary operands, but it can see a flagged
+           name right next to the operator. [let x = ...] is a binder, not
+           a comparison — walk back over the binding head to tell. *)
+        let is_binder i =
+          let rec back j =
+            if j < 0 || i - j > 40 then false
+            else
+              match tokens.(j).Lexer.kind with
+              | Lexer.Keyword ("let" | "and" | "rec" | "val" | "external" | "method"
+                              | "type" | "module") ->
+                  true
+              | Lexer.Ident _ | Lexer.Num | Lexer.Str | Lexer.Chr | Lexer.Comment _
+              | Lexer.Op (":" | "," | "~" | "?" | "." | "*") ->
+                  back (j - 1)
+              | _ -> false
+          in
+          back (i - 1)
+        in
+        let ops = ref [] in
+        Array.iteri
+          (fun i { Lexer.kind; line } ->
+            match kind with
+            | Lexer.Op ("=" | "<>") when not (is_binder i) ->
+                let neighbor j =
+                  if j >= 0 && j < Array.length tokens then
+                    match tokens.(j).Lexer.kind with
+                    | Lexer.Ident n when is_secret ctx n -> Some n
+                    | _ -> None
+                  else None
+                in
+                (match (neighbor (i - 1), neighbor (i + 1)) with
+                | Some n, _ | None, Some n ->
+                    ops :=
+                      finding ctx "ct-equality" line
+                        (Printf.sprintf
+                           "polymorphic comparison on secret-flagged %S; use Ct.equal" n)
+                      :: !ops
+                | None, None -> ())
+            | _ -> ())
+          tokens;
+        named @ List.rev !ops);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rule 2: no secret-dependent branching.                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Collect the condition span of an [if]/[match] starting at index [i]:
+   tokens up to the matching [then]/[with], counting nested openers so an
+   inner if consumes its own closer. *)
+let condition_span tokens i opener closer =
+  let n = Array.length tokens in
+  let stop = min n (i + 2000) in
+  let rec go j pending acc =
+    if j >= stop then List.rev acc
+    else
+      match tokens.(j).Lexer.kind with
+      | Lexer.Keyword k when k = opener -> go (j + 1) (pending + 1) acc
+      | Lexer.Keyword k when k = closer ->
+          if pending = 1 then List.rev acc else go (j + 1) (pending - 1) acc
+      | _ -> go (j + 1) pending (tokens.(j) :: acc)
+  in
+  go (i + 1) 1 []
+
+let secret_branch =
+  {
+    name = "secret-branch";
+    doc =
+      "no if/match on secret-flagged values: branch direction is visible to a \
+       timing/trace adversary";
+    (* fires only where a file flags secrets, so it costs nothing elsewhere *)
+    applies = (fun ctx -> Hashtbl.length ctx.secrets > 0);
+    check =
+      (fun ctx tokens ->
+        let out = ref [] in
+        Array.iteri
+          (fun i { Lexer.kind; line } ->
+            let scan opener closer construct =
+              let span = condition_span tokens i opener closer in
+              let hits =
+                List.filter_map
+                  (fun t ->
+                    match t.Lexer.kind with
+                    | Lexer.Ident n when is_secret ctx n -> Some n
+                    | _ -> None)
+                  span
+              in
+              match hits with
+              | [] -> ()
+              | n :: _ ->
+                  out :=
+                    finding ctx "secret-branch" line
+                      (Printf.sprintf "%s scrutinises secret-flagged %S" construct n)
+                    :: !out
+            in
+            match kind with
+            | Lexer.Keyword "if" -> scan "if" "then" "if-condition"
+            | Lexer.Keyword "match" -> scan "match" "with" "match-scrutinee"
+            | _ -> ())
+          tokens;
+        List.rev !out);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rule 3: determinism in lib/.                                        *)
+(* ------------------------------------------------------------------ *)
+
+let nondeterminism =
+  {
+    name = "nondeterminism";
+    doc =
+      "lib/ code must draw randomness/time through Det_rng or Drbg so behaviour \
+       is reproducible and auditable";
+    applies =
+      (fun ctx ->
+        in_lib ctx && ctx.basename <> "det_rng.ml" && ctx.basename <> "drbg.ml");
+    check =
+      banned_ident_check
+        ~exact:
+          [
+            "Random"; "Unix.time"; "Unix.gettimeofday"; "Sys.time"; "Unix.gmtime";
+            "Unix.localtime";
+          ]
+        ~prefixes:[ "Random."; "Stdlib.Random." ]
+        ~msg:(fun name ->
+          Printf.sprintf "nondeterministic source %s; route through Det_rng/Drbg" name)
+        "nondeterminism";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rule 4: no printing from crypto modules.                            *)
+(* ------------------------------------------------------------------ *)
+
+let key_print =
+  {
+    name = "key-print";
+    doc =
+      "crypto modules must not write to the console: the only strings they hold \
+       are keys and plaintext (pure sprintf is fine)";
+    applies = (fun ctx -> in_lib ctx && has_segment ctx "crypto");
+    check =
+      banned_ident_check
+        ~exact:
+          [
+            "Printf.printf"; "Printf.eprintf"; "Format.printf"; "Format.eprintf";
+            "print_string"; "print_endline"; "print_newline"; "print_char";
+            "print_bytes"; "print_int"; "print_float"; "prerr_string";
+            "prerr_endline"; "prerr_newline";
+          ]
+        ~prefixes:[]
+        ~msg:(fun name -> Printf.sprintf "console output %s from a crypto module" name)
+        "key-print";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rule 5: graceful degradation on server request paths.               *)
+(* ------------------------------------------------------------------ *)
+
+let server_request_files =
+  [ "server.ml"; "zltp_server.ml"; "zltp_frontend.ml"; "zltp_batch.ml"; "endpoint.ml" ]
+
+let server_abort =
+  {
+    name = "server-abort";
+    doc =
+      "server request paths answer bad input with typed errors, never failwith/exit: \
+       one hostile query must not take the process down";
+    applies = (fun ctx -> List.mem ctx.basename server_request_files);
+    check =
+      banned_ident_check
+        ~exact:[ "failwith"; "Stdlib.failwith"; "exit"; "Stdlib.exit" ]
+        ~prefixes:[]
+        ~msg:(fun name ->
+          Printf.sprintf "%s on a server request path; return a typed error" name)
+        "server-abort";
+  }
+
+let all = [ ct_equality; secret_branch; nondeterminism; key_print; server_abort ]
+
+let by_name name = List.find_opt (fun r -> r.name = name) all

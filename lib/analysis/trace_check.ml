@@ -1,0 +1,114 @@
+(* The dynamic half of the analysis pass: drive the two ZLTP backends
+   with pairs of distinct secret keys and assert that the observable
+   access traces have identical shape. This turns the obliviousness
+   spot-checks scattered through test_oram.ml into a reusable checker
+   any test (or future PR) can call with its own keys.
+
+   "Shape" means what an adversary watching memory can count: trace
+   length and, for the enclave, that every entry is a valid leaf of the
+   same tree. The concrete leaves/buckets are expected to differ — they
+   are (pseudo)random — so equality of the values themselves is exactly
+   what we must NOT require. *)
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Enclave ORAM                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* One enclave per probe key, identically populated, so each trace is
+   the trace of a fresh deployment serving only that key's workload. *)
+let enclave_trace ~capacity ~value_size ~fill ~gets key =
+  let e = Lw_oram.Enclave.create ~seed:"trace-check" ~capacity ~value_size () in
+  for i = 0 to fill - 1 do
+    match Lw_oram.Enclave.put e ~key:(Printf.sprintf "page-%d" i) ~value:"v" with
+    | Ok () -> ()
+    | Error _ -> invalid_arg "Trace_check: fill exceeds enclave capacity"
+  done;
+  Lw_oram.Enclave.clear_trace e;
+  for _ = 1 to gets do
+    ignore (Lw_oram.Enclave.get e key)
+  done;
+  (Lw_oram.Enclave.observed_trace e, Lw_oram.Enclave.accesses_per_get e)
+
+let check_enclave ?(capacity = 32) ?(value_size = 64) ?(fill = 10) ?(gets = 6)
+    ?(keys = [ "page-1"; "page-7"; "no-such-key.example" ]) () =
+  if List.length keys < 2 then err "check_enclave: need at least 2 distinct keys"
+  else begin
+    let traces = List.map (enclave_trace ~capacity ~value_size ~fill ~gets) keys in
+    let lengths = List.map (fun (t, _) -> List.length t) traces in
+    match lengths with
+    | [] -> err "check_enclave: no traces"
+    | first :: rest ->
+        if List.exists (fun l -> l <> first) rest then
+          err "enclave trace lengths differ across keys: [%s]"
+            (String.concat "; " (List.map string_of_int lengths))
+        else if first <> gets then
+          err "enclave trace has %d accesses for %d gets: op count leaks" first gets
+        else begin
+          (* every logged entry must be a leaf of the same tree: a trace
+             that wandered outside the leaf range would be distinguishable *)
+          let leaf_bound =
+            match traces with (_, per_get) :: _ -> 1 lsl (per_get - 1) | [] -> 0
+          in
+          let bad =
+            List.concat_map
+              (fun ((t, _), key) ->
+                List.filter_map
+                  (fun leaf ->
+                    if leaf < 0 || leaf >= leaf_bound then Some (key, leaf) else None)
+                  t)
+              (List.combine traces keys)
+          in
+          match bad with
+          | [] -> Ok ()
+          | (key, leaf) :: _ -> err "enclave trace for %S left the leaf range: %d" key leaf
+        end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Bucket_db linear scan (PIR mode)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* For each secret index, generate the DPF share pair and run both
+   servers' scans with tracing on. The masked scan must touch buckets
+   [0..size) in order for every key and both parties. *)
+let scan_traces ~domain_bits ~bucket_size alpha =
+  let db = Lw_pir.Bucket_db.create ~domain_bits ~bucket_size in
+  Lw_pir.Bucket_db.fill_random db (Lw_util.Det_rng.of_string_seed "trace-check-db");
+  let server = Lw_pir.Server.create db in
+  let rng = Lw_crypto.Drbg.create ~seed:"trace-check-dpf" in
+  let k0, k1 = Lw_dpf.Dpf.gen ~domain_bits ~alpha rng in
+  List.map
+    (fun k ->
+      Lw_pir.Bucket_db.set_tracing db true;
+      ignore (Lw_pir.Server.answer server k);
+      let t = Lw_pir.Bucket_db.access_trace db in
+      Lw_pir.Bucket_db.set_tracing db false;
+      t)
+    [ k0; k1 ]
+
+let check_bucket_scan ?(domain_bits = 6) ?(bucket_size = 32) ?(alphas = [ 3; 47 ]) () =
+  if List.length alphas < 2 then err "check_bucket_scan: need at least 2 distinct keys"
+  else begin
+    let expected = List.init (1 lsl domain_bits) Fun.id in
+    let failures =
+      List.concat_map
+        (fun alpha ->
+          List.concat_map
+            (fun trace -> if trace = expected then [] else [ alpha ])
+            (scan_traces ~domain_bits ~bucket_size alpha))
+        alphas
+    in
+    match failures with
+    | [] -> Ok ()
+    | alpha :: _ ->
+        err "bucket scan trace for alpha=%d is not the full in-order walk" alpha
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let check_all () =
+  match check_enclave () with
+  | Error _ as e -> e
+  | Ok () -> check_bucket_scan ()

@@ -26,10 +26,22 @@ let cw_bit k level = Char.code (Bytes.get k.cw_bits (k.cw_offset + level))
 (* Key generation                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* Keygen runs on the client, whose own query index [alpha] is the
+   secret; it still must not branch on it, or a co-resident observer
+   times the key out of the client. lw-lint's secret-branch rule keeps
+   the per-level selects below arithmetic. *)
+(* lw-lint: secret alpha alpha_bit *)
+
+(* [pick_int bit a b] is [a] when bit = 0, [b] when bit = 1, branch-free
+   for bit in {0,1}. *)
+let pick_int bit a b = ((1 - bit) * a) + (bit * b)
+
 let gen ?(prg = Prg.default) ?value ~domain_bits ~alpha rng =
   if domain_bits < 1 || domain_bits > max_domain_bits then
     invalid_arg "Dpf.gen: domain_bits out of range";
-  if alpha < 0 || alpha >= 1 lsl domain_bits then invalid_arg "Dpf.gen: alpha out of domain";
+  (* domain bound check: public bounds, rejected before any use *)
+  if alpha < 0 || alpha >= 1 lsl domain_bits then (* lw-lint: allow secret-branch *)
+    invalid_arg "Dpf.gen: alpha out of domain";
   let value_len = match value with None -> 0 | Some v -> String.length v in
   let d = domain_bits in
   let s0 = Bytes.of_string (Lw_crypto.Drbg.generate rng 16) in
@@ -49,8 +61,9 @@ let gen ?(prg = Prg.default) ?value ~domain_bits ~alpha rng =
     let tl0 = bits0 land 1 and tr0 = bits0 lsr 1 in
     let tl1 = bits1 land 1 and tr1 = bits1 lsr 1 in
     let alpha_bit = Lw_util.Bitops.bit_msb alpha ~width:d level in
-    (* keep = the child alpha descends into; lose = the other *)
-    let keep_off = if alpha_bit = 0 then 0 else 16 in
+    (* keep = the child alpha descends into; lose = the other — offsets
+       derived arithmetically so no branch follows the secret bit *)
+    let keep_off = 16 * alpha_bit in
     let lose_off = 16 - keep_off in
     for i = 0 to 15 do
       Bytes.set cw_seeds ((16 * level) + i)
@@ -60,15 +73,15 @@ let gen ?(prg = Prg.default) ?value ~domain_bits ~alpha rng =
     let tl_cw = tl0 lxor tl1 lxor alpha_bit lxor 1 in
     let tr_cw = tr0 lxor tr1 lxor alpha_bit in
     Bytes.set cw_bits level (Char.chr (tl_cw lor (tr_cw lsl 1)));
-    let tkeep_cw = if alpha_bit = 0 then tl_cw else tr_cw in
+    let tkeep_cw = pick_int alpha_bit tl_cw tr_cw in
     let step s c t tkeep =
       Bytes.blit c keep_off s 0 16;
       if t = 1 then
         Lw_util.Xorbuf.xor_into ~src:cw_seeds ~src_pos:(16 * level) ~dst:s ~dst_pos:0 ~len:16;
       tkeep lxor (t land tkeep_cw)
     in
-    let tkeep0 = if alpha_bit = 0 then tl0 else tr0 in
-    let tkeep1 = if alpha_bit = 0 then tl1 else tr1 in
+    let tkeep0 = pick_int alpha_bit tl0 tr0 in
+    let tkeep1 = pick_int alpha_bit tl1 tr1 in
     let t0' = step s0 c0 !t0 tkeep0 in
     let t1' = step s1 c1 !t1 tkeep1 in
     t0 := t0';

@@ -1,4 +1,10 @@
-type t = { domain_bits : int; bucket_size : int; data : Bytes.t }
+type t = {
+  domain_bits : int;
+  bucket_size : int;
+  data : Bytes.t;
+  mutable tracing : bool;
+  mutable trace_rev : int list; (* bucket indices touched, newest first *)
+}
 
 let max_domain_bits = 26
 
@@ -6,7 +12,13 @@ let create ~domain_bits ~bucket_size =
   if domain_bits < 1 || domain_bits > max_domain_bits then
     invalid_arg "Bucket_db.create: domain_bits out of range";
   if bucket_size <= 0 then invalid_arg "Bucket_db.create: bucket_size must be positive";
-  { domain_bits; bucket_size; data = Bytes.make ((1 lsl domain_bits) * bucket_size) '\x00' }
+  {
+    domain_bits;
+    bucket_size;
+    data = Bytes.make ((1 lsl domain_bits) * bucket_size) '\x00';
+    tracing = false;
+    trace_rev = [];
+  }
 
 let domain_bits t = t.domain_bits
 let size t = 1 lsl t.domain_bits
@@ -15,6 +27,16 @@ let total_bytes t = Bytes.length t.data
 
 let check_index t i =
   if i < 0 || i >= size t then invalid_arg "Bucket_db: index out of range"
+
+(* Access tracing: off by default (a per-access cons would pollute the
+   scan benchmarks), switched on by the obliviousness checker to observe
+   which buckets a query touches. *)
+let set_tracing t on =
+  t.tracing <- on;
+  t.trace_rev <- []
+
+let access_trace t = List.rev t.trace_rev
+let record t i = if t.tracing then t.trace_rev <- i :: t.trace_rev
 
 let set t i data =
   check_index t i;
@@ -25,6 +47,7 @@ let set t i data =
 
 let get t i =
   check_index t i;
+  record t i;
   Bytes.sub_string t.data (i * t.bucket_size) t.bucket_size
 
 let is_empty t i =
@@ -39,8 +62,15 @@ let clear t i =
 
 let xor_bucket_into t i ~dst =
   check_index t i;
+  record t i;
   Lw_util.Xorbuf.xor_into ~src:t.data ~src_pos:(i * t.bucket_size) ~dst ~dst_pos:0
     ~len:t.bucket_size
+
+let xor_bucket_into_masked t i ~mask ~dst =
+  check_index t i;
+  record t i;
+  Lw_util.Xorbuf.xor_into_masked ~mask ~src:t.data ~src_pos:(i * t.bucket_size) ~dst
+    ~dst_pos:0 ~len:t.bucket_size
 
 let fill_random t rng =
   let n = Bytes.length t.data in

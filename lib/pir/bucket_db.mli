@@ -34,6 +34,21 @@ val xor_bucket_into : t -> int -> dst:Bytes.t -> unit
 (** [xor_bucket_into db i ~dst] XORs bucket [i] into [dst] (which must be
     at least [bucket_size] long) — the scan's inner step. *)
 
+val xor_bucket_into_masked : t -> int -> mask:int -> dst:Bytes.t -> unit
+(** Like [xor_bucket_into], but each source byte is ANDed with
+    [mask land 0xff] first. With mask [0x00] the bucket is still read and
+    [dst] rewritten unchanged, so a scan that visits every bucket with a
+    mask derived from its selection bit has an access trace independent of
+    the selection — the constant-trace scan step. *)
+
+val set_tracing : t -> bool -> unit
+(** Enable/disable access tracing; either way the trace is reset. Tracing
+    is for the obliviousness checker — leave it off on hot paths. *)
+
+val access_trace : t -> int list
+(** Bucket indices touched by [get] / [xor_bucket_into]{[_masked]} since
+    tracing was enabled, in access order. *)
+
 val fill_random : t -> Lw_util.Det_rng.t -> unit
 (** Fill every bucket with deterministic pseudorandom bytes; used by the
     benchmarks, which only care about scan geometry, not contents. *)

@@ -13,10 +13,18 @@ let eval_bits t k =
   Lw_dpf.Dpf.eval_all_bits k (fun i b -> Bytes.unsafe_set bits i (Char.unsafe_chr b));
   bits
 
+(* Every bucket is visited with identical work: the selection bit becomes
+   a byte mask (0x00/0xff) arithmetically, never a branch, so the scan's
+   memory trace is the full [0..size) walk no matter which key share the
+   query carries. Lint rule [secret-branch] and the dynamic checker in
+   [Lw_analysis.Trace_check] both watch this property. *)
+let mask_of_bit b = (0 - (b land 1)) land 0xff
+
 let scan t bits =
   let acc = Bytes.make (Bucket_db.bucket_size t.db) '\x00' in
   for i = 0 to Bucket_db.size t.db - 1 do
-    if Bytes.unsafe_get bits i <> '\x00' then Bucket_db.xor_bucket_into t.db i ~dst:acc
+    let mask = mask_of_bit (Char.code (Bytes.unsafe_get bits i)) in
+    Bucket_db.xor_bucket_into_masked t.db i ~mask ~dst:acc
   done;
   Bytes.unsafe_to_string acc
 
@@ -28,11 +36,12 @@ let answer_batch t keys =
   let all_bits = Array.map (eval_bits t) keys in
   let accs = Array.init n (fun _ -> Bytes.make (Bucket_db.bucket_size t.db) '\x00') in
   (* one pass over the data: every accumulator is fed from the same
-     streamed bucket, so the scan cost is paid once per batch *)
+     streamed bucket, so the scan cost is paid once per batch; masked like
+     [scan] so per-query work is independent of the share bits *)
   for i = 0 to Bucket_db.size t.db - 1 do
     for q = 0 to n - 1 do
-      if Bytes.unsafe_get all_bits.(q) i <> '\x00' then
-        Bucket_db.xor_bucket_into t.db i ~dst:accs.(q)
+      let mask = mask_of_bit (Char.code (Bytes.unsafe_get all_bits.(q) i)) in
+      Bucket_db.xor_bucket_into_masked t.db i ~mask ~dst:accs.(q)
     done
   done;
   Array.map Bytes.unsafe_to_string accs

@@ -19,6 +19,29 @@ let xor_into ~src ~src_pos ~dst ~dst_pos ~len =
     Bytes.unsafe_set dst (dst_pos + i) (Char.unsafe_chr (s lxor d))
   done
 
+(* Like [xor_into], but every source byte is ANDed with [mask] first.
+   With mask 0xff this is a plain XOR; with mask 0x00 it degenerates to a
+   read-modify-write of [dst] with itself — same memory traffic, no data
+   change. That makes a selective XOR scan constant-trace: the caller
+   derives the mask arithmetically from a selection bit and touches every
+   bucket identically whether or not it is selected. *)
+let xor_into_masked ~mask ~src ~src_pos ~dst ~dst_pos ~len =
+  check_bounds "xor_into_masked(src)" src_pos len (Bytes.length src);
+  check_bounds "xor_into_masked(dst)" dst_pos len (Bytes.length dst);
+  let mask = mask land 0xff in
+  let m64 = Int64.mul (Int64.of_int mask) 0x0101010101010101L in
+  let words = len / 8 in
+  for i = 0 to words - 1 do
+    let s = Bytes.get_int64_ne src (src_pos + (8 * i)) in
+    let d = Bytes.get_int64_ne dst (dst_pos + (8 * i)) in
+    Bytes.set_int64_ne dst (dst_pos + (8 * i)) (Int64.logxor (Int64.logand s m64) d)
+  done;
+  for i = 8 * words to len - 1 do
+    let s = Char.code (Bytes.unsafe_get src (src_pos + i)) in
+    let d = Char.code (Bytes.unsafe_get dst (dst_pos + i)) in
+    Bytes.unsafe_set dst (dst_pos + i) (Char.unsafe_chr ((s land mask) lxor d))
+  done
+
 let xor_string_into ~src ~src_pos ~dst ~dst_pos ~len =
   xor_into ~src:(Bytes.unsafe_of_string src) ~src_pos ~dst ~dst_pos ~len
 

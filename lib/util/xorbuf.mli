@@ -8,6 +8,13 @@ val xor_into : src:Bytes.t -> src_pos:int -> dst:Bytes.t -> dst_pos:int -> len:i
     (from [src_pos]) into [dst] (at [dst_pos]). Bounds are checked once up
     front; raises [Invalid_argument] when a range is out of bounds. *)
 
+val xor_into_masked :
+  mask:int -> src:Bytes.t -> src_pos:int -> dst:Bytes.t -> dst_pos:int -> len:int -> unit
+(** Like {!xor_into}, but each source byte is ANDed with [mask land 0xff]
+    first. Mask [0x00] still performs the full read-modify-write of [dst],
+    so selecting buckets by mask (instead of skipping them with a branch)
+    keeps a scan's memory trace independent of the selection bits. *)
+
 val xor_string_into : src:string -> src_pos:int -> dst:Bytes.t -> dst_pos:int -> len:int -> unit
 (** Same as {!xor_into} with an immutable source. *)
 

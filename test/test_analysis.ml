@@ -1,0 +1,311 @@
+(* lw_analysis: the lint pass and the dynamic obliviousness checker.
+
+   Three layers: (1) lexer unit tests, (2) one known-bad and one
+   known-good fixture per rule (plus pragma suppression), (3) the CI
+   gate — the analyzer runs over the repo's own lib/ and must come back
+   clean, so every future PR is linted by the code it lands next to. *)
+
+open Lw_analysis
+
+(* ------------------------- lexer ------------------------- *)
+
+let kinds src =
+  Array.to_list (Lexer.tokenize src) |> List.map (fun t -> t.Lexer.kind)
+
+let test_lexer_idents_and_keywords () =
+  Alcotest.(check bool) "dotted ident joined" true
+    (List.mem (Lexer.Ident "String.equal") (kinds "let x = String.equal a b"));
+  Alcotest.(check bool) "keyword classified" true
+    (List.mem (Lexer.Keyword "match") (kinds "match x with _ -> ()"));
+  Alcotest.(check bool) "deep path joined" true
+    (List.mem (Lexer.Ident "Lw_crypto.Ct.equal") (kinds "Lw_crypto.Ct.equal a b"))
+
+let test_lexer_strings_opaque () =
+  (* identifiers inside string literals must not look like code *)
+  let ks = kinds {|let x = "String.equal if Random.int" ^ y|} in
+  Alcotest.(check bool) "no ident from string" false
+    (List.mem (Lexer.Ident "String.equal") ks);
+  Alcotest.(check bool) "string token present" true (List.mem Lexer.Str ks);
+  (* escaped quote does not terminate *)
+  let ks2 = kinds "let x = \"a\\\"b Random.int\" in x" in
+  Alcotest.(check bool) "escape handled" false (List.mem (Lexer.Ident "Random.int") ks2);
+  (* quoted-string syntax *)
+  let ks3 = kinds "let x = {|failwith inside|} in x" in
+  Alcotest.(check bool) "quoted string opaque" false
+    (List.mem (Lexer.Ident "failwith") ks3)
+
+let test_lexer_comments () =
+  let ks = kinds "(* failwith (* nested Random.int *) tail *) let x = 1" in
+  Alcotest.(check bool) "no ident from comment" false
+    (List.mem (Lexer.Ident "failwith") ks);
+  let has_comment =
+    List.exists (function Lexer.Comment _ -> true | _ -> false) ks
+  in
+  Alcotest.(check bool) "comment token kept" true has_comment;
+  (* a string inside a comment hides a close-comment sequence *)
+  let ks2 = kinds "(* \"*)\" still comment *) let y = 2" in
+  Alcotest.(check bool) "string in comment" true (List.mem (Lexer.Ident "y") ks2)
+
+let test_lexer_char_vs_tyvar () =
+  let ks = kinds "let f (x : 'a) = x <> 'x'" in
+  Alcotest.(check bool) "char literal" true (List.mem Lexer.Chr ks);
+  Alcotest.(check bool) "op survives" true (List.mem (Lexer.Op "<>") ks)
+
+let test_lexer_line_numbers () =
+  let toks = Lexer.tokenize "let a = 1\nlet b =\n  Random.int 3\n" in
+  let line_of name =
+    Array.to_list toks
+    |> List.find_map (fun t ->
+           match t.Lexer.kind with
+           | Lexer.Ident n when n = name -> Some t.Lexer.line
+           | _ -> None)
+  in
+  Alcotest.(check (option int)) "line 1" (Some 1) (line_of "a");
+  Alcotest.(check (option int)) "line 3" (Some 3) (line_of "Random.int")
+
+(* ------------------------- rule fixtures ------------------------- *)
+
+(* Each fixture is scanned under a virtual path so the path-scoped
+   rules apply exactly as they would in the real tree. *)
+let findings_for ?(path = "lib/crypto/fixture.ml") src =
+  let r = Analyzer.scan_source ~path src in
+  List.map (fun f -> f.Report.rule) r.Analyzer.findings
+
+let count_rule rule rules = List.length (List.filter (( = ) rule) rules)
+
+let test_rule_ct_equality () =
+  let bad = "let check a b = String.equal a b" in
+  Alcotest.(check int) "bad caught" 1 (count_rule "ct-equality" (findings_for bad));
+  let bad_cmp = "let order a b = compare a b" in
+  Alcotest.(check int) "bare compare caught" 1
+    (count_rule "ct-equality" (findings_for bad_cmp));
+  let bad_secret_eq = "(* lw-lint: secret tag *)\nlet ok tag exp = tag = exp" in
+  Alcotest.(check int) "secret = caught" 1
+    (count_rule "ct-equality" (findings_for bad_secret_eq));
+  let good = "let check a b = Ct.equal a b" in
+  Alcotest.(check int) "good clean" 0 (count_rule "ct-equality" (findings_for good));
+  (* let-bindings of secret-flagged names are binders, not comparisons *)
+  let binder = "(* lw-lint: secret mask *)\nlet f bit = let mask = bit land 1 in mask" in
+  Alcotest.(check int) "binder not flagged" 0
+    (count_rule "ct-equality" (findings_for binder));
+  (* outside the sensitive dirs the rule is silent *)
+  Alcotest.(check int) "out of scope" 0
+    (count_rule "ct-equality" (findings_for ~path:"lib/sim/fixture.ml" bad))
+
+let test_rule_secret_branch () =
+  let bad = "(* lw-lint: secret cond *)\nlet sel cond a b = if cond then a else b" in
+  Alcotest.(check int) "if caught" 1 (count_rule "secret-branch" (findings_for bad));
+  let bad_match =
+    "(* lw-lint: secret bit *)\nlet f bit = match bit with 0 -> 1 | _ -> 2"
+  in
+  Alcotest.(check int) "match caught" 1
+    (count_rule "secret-branch" (findings_for bad_match));
+  (* the field path k.cond still trips the flag on cond *)
+  let bad_field = "(* lw-lint: secret cond *)\nlet f k = if k.cond then 1 else 0" in
+  Alcotest.(check int) "field access caught" 1
+    (count_rule "secret-branch" (findings_for bad_field));
+  let good =
+    "(* lw-lint: secret cond *)\n\
+     let sel cond a b = Ct.select_int (Bool.to_int cond) a b"
+  in
+  Alcotest.(check int) "arithmetic select clean" 0
+    (count_rule "secret-branch" (findings_for good));
+  (* without a secret flag the rule has nothing to protect *)
+  let unflagged = "let sel cond a b = if cond then a else b" in
+  Alcotest.(check int) "unflagged silent" 0
+    (count_rule "secret-branch" (findings_for unflagged))
+
+let test_rule_nondeterminism () =
+  let bad = "let roll () = Random.int 6" in
+  let path = "lib/sim/fixture.ml" in
+  Alcotest.(check int) "Random caught" 1
+    (count_rule "nondeterminism" (findings_for ~path bad));
+  let bad_time = "let now () = Unix.gettimeofday ()" in
+  Alcotest.(check int) "wall clock caught" 1
+    (count_rule "nondeterminism" (findings_for ~path bad_time));
+  let good = "let roll rng = Lw_util.Det_rng.int rng 6" in
+  Alcotest.(check int) "Det_rng clean" 0
+    (count_rule "nondeterminism" (findings_for ~path good));
+  (* the designated randomness modules are exempt *)
+  Alcotest.(check int) "drbg.ml exempt" 0
+    (count_rule "nondeterminism" (findings_for ~path:"lib/crypto/drbg.ml" bad_time));
+  (* bin/, bench/ are out of scope: the rule is about lib/ determinism *)
+  Alcotest.(check int) "bench exempt" 0
+    (count_rule "nondeterminism" (findings_for ~path:"bench/fixture.ml" bad))
+
+let test_rule_key_print () =
+  let bad = "let dump key = Printf.printf \"%s\" key" in
+  Alcotest.(check int) "printf caught" 1 (count_rule "key-print" (findings_for bad));
+  let good = "let label key = Printf.sprintf \"%d\" (String.length key)" in
+  Alcotest.(check int) "sprintf clean" 0 (count_rule "key-print" (findings_for good));
+  Alcotest.(check int) "non-crypto exempt" 0
+    (count_rule "key-print" (findings_for ~path:"lib/core/fixture.ml" bad))
+
+let test_rule_server_abort () =
+  let bad = "let handle req = if bad req then failwith \"boom\" else ok req" in
+  let path = "lib/core/zltp_server.ml" in
+  Alcotest.(check int) "failwith caught" 1
+    (count_rule "server-abort" (findings_for ~path bad));
+  let bad_exit = "let handle req = exit 1" in
+  Alcotest.(check int) "exit caught" 1
+    (count_rule "server-abort" (findings_for ~path bad_exit));
+  let good = "let handle req = Error `Bad_request" in
+  Alcotest.(check int) "typed error clean" 0
+    (count_rule "server-abort" (findings_for ~path good));
+  Alcotest.(check int) "non-server file exempt" 0
+    (count_rule "server-abort" (findings_for ~path:"lib/core/universe.ml" bad))
+
+let test_pragma_suppression () =
+  (* same-line pragma *)
+  let r1 =
+    Analyzer.scan_source ~path:"lib/crypto/f.ml"
+      "let check a b = String.equal a b (* lw-lint: allow ct-equality *)"
+  in
+  Alcotest.(check int) "same line suppressed" 0 (List.length r1.Analyzer.findings);
+  Alcotest.(check int) "counted as suppressed" 1 r1.Analyzer.suppressed;
+  (* pragma on the line above *)
+  let r2 =
+    Analyzer.scan_source ~path:"lib/crypto/f.ml"
+      "(* lw-lint: allow ct-equality *)\nlet check a b = String.equal a b"
+  in
+  Alcotest.(check int) "next line suppressed" 0 (List.length r2.Analyzer.findings);
+  (* a pragma for one rule does not silence another *)
+  let r3 =
+    Analyzer.scan_source ~path:"lib/crypto/f.ml"
+      "(* lw-lint: allow key-print *)\nlet check a b = String.equal a b"
+  in
+  Alcotest.(check int) "wrong rule still fires" 1 (List.length r3.Analyzer.findings);
+  (* and it does not leak beyond the next line *)
+  let r4 =
+    Analyzer.scan_source ~path:"lib/crypto/f.ml"
+      "(* lw-lint: allow ct-equality *)\n\nlet check a b = String.equal a b"
+  in
+  Alcotest.(check int) "two lines below not covered" 1 (List.length r4.Analyzer.findings)
+
+let test_old_ct_select_is_caught () =
+  (* the exact shape this PR fixed in lib/crypto/ct.ml: the mask derived
+     by branching on the secret condition *)
+  let old =
+    "(* lw-lint: secret cond *)\n\
+     let select cond a b =\n\
+    \  let mask = if cond then 0xff else 0 in\n\
+    \  ignore mask\n"
+  in
+  let r = Analyzer.scan_source ~path:"lib/crypto/ct.ml" old in
+  Alcotest.(check int) "regression caught" 1 (List.length r.Analyzer.findings);
+  match r.Analyzer.findings with
+  | [ f ] ->
+      Alcotest.(check string) "by the branch rule" "secret-branch" f.Report.rule;
+      Alcotest.(check int) "on the mask line" 3 f.Report.line
+  | _ -> Alcotest.fail "expected exactly one finding"
+
+(* ------------------------- report ------------------------- *)
+
+let test_report_json_shape () =
+  let r =
+    Analyzer.scan_source ~path:"lib/crypto/f.ml" "let f a b = String.equal a b"
+  in
+  let report =
+    Report.make ~files_scanned:1 ~findings:r.Analyzer.findings
+      ~suppressed:r.Analyzer.suppressed ~elapsed_s:0.001
+  in
+  let json = Lw_json.Json.of_string (Lw_json.Json.to_string (Report.to_json report)) in
+  let open Lw_json.Json in
+  Alcotest.(check int) "files" 1 (get_int (member "files_scanned" json));
+  Alcotest.(check int) "count" 1 (get_int (member "finding_count" json));
+  match get_list (member "findings" json) with
+  | [ f ] ->
+      Alcotest.(check string) "rule" "ct-equality" (get_string (member "rule" f));
+      Alcotest.(check string) "file" "lib/crypto/f.ml" (get_string (member "file" f));
+      Alcotest.(check bool) "line positive" true (get_int (member "line" f) > 0)
+  | _ -> Alcotest.fail "expected one finding in JSON"
+
+(* ------------------------- the CI gate ------------------------- *)
+
+let test_lib_is_clean () =
+  match Analyzer.resolve_dir "lib" with
+  | None -> Alcotest.fail "could not locate lib/ from the test runner"
+  | Some lib ->
+      let report = Analyzer.scan_paths [ lib ] in
+      List.iter
+        (fun f ->
+          Printf.printf "UNSUPPRESSED: %s:%d: [%s] %s\n" f.Report.file f.Report.line
+            f.Report.rule f.Report.message)
+        report.Report.findings;
+      Alcotest.(check int) "unsuppressed findings in lib/" 0
+        (List.length report.Report.findings);
+      Alcotest.(check bool) "scanned a real tree" true (report.Report.files_scanned > 40)
+
+(* ------------------------- dynamic obliviousness ------------------------- *)
+
+let check_ok label = function
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Printf.sprintf "%s: %s" label e)
+
+let test_trace_enclave () =
+  (* present, present, missing: three distinct secret keys, same shape *)
+  check_ok "enclave defaults" (Trace_check.check_enclave ());
+  check_ok "enclave more keys"
+    (Trace_check.check_enclave ~capacity:64 ~fill:20 ~gets:4
+       ~keys:[ "page-0"; "page-19"; "page-3"; "ghost-a"; "ghost-b" ] ())
+
+let test_trace_bucket_scan () =
+  check_ok "scan defaults" (Trace_check.check_bucket_scan ());
+  check_ok "scan wider domain"
+    (Trace_check.check_bucket_scan ~domain_bits:8 ~bucket_size:64
+       ~alphas:[ 0; 17; 255 ] ())
+
+let test_trace_check_all () = check_ok "check_all" (Trace_check.check_all ())
+
+let test_trace_scan_really_answers () =
+  (* the masked scan the checker relies on must still be a correct PIR
+     answer: XOR of the two servers' responses is the queried bucket *)
+  let domain_bits = 6 and bucket_size = 32 in
+  let db = Lw_pir.Bucket_db.create ~domain_bits ~bucket_size in
+  Lw_pir.Bucket_db.fill_random db (Lw_util.Det_rng.of_string_seed "answer-check");
+  let server = Lw_pir.Server.create db in
+  let rng = Lw_crypto.Drbg.create ~seed:"answer-check" in
+  List.iter
+    (fun alpha ->
+      let k0, k1 = Lw_dpf.Dpf.gen ~domain_bits ~alpha rng in
+      let a0 = Lw_pir.Server.answer server k0 in
+      let a1 = Lw_pir.Server.answer server k1 in
+      Alcotest.(check string)
+        (Printf.sprintf "alpha %d" alpha)
+        (Lw_pir.Bucket_db.get db alpha)
+        (Lw_util.Xorbuf.xor a0 a1))
+    [ 0; 13; 63 ]
+
+let () =
+  Alcotest.run "lw_analysis"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "idents and keywords" `Quick test_lexer_idents_and_keywords;
+          Alcotest.test_case "strings opaque" `Quick test_lexer_strings_opaque;
+          Alcotest.test_case "comments" `Quick test_lexer_comments;
+          Alcotest.test_case "char vs type var" `Quick test_lexer_char_vs_tyvar;
+          Alcotest.test_case "line numbers" `Quick test_lexer_line_numbers;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "ct-equality" `Quick test_rule_ct_equality;
+          Alcotest.test_case "secret-branch" `Quick test_rule_secret_branch;
+          Alcotest.test_case "nondeterminism" `Quick test_rule_nondeterminism;
+          Alcotest.test_case "key-print" `Quick test_rule_key_print;
+          Alcotest.test_case "server-abort" `Quick test_rule_server_abort;
+          Alcotest.test_case "pragma suppression" `Quick test_pragma_suppression;
+          Alcotest.test_case "old Ct.select caught" `Quick test_old_ct_select_is_caught;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "json shape" `Quick test_report_json_shape ] );
+      ( "ci-gate",
+        [ Alcotest.test_case "lib/ lints clean" `Quick test_lib_is_clean ] );
+      ( "obliviousness",
+        [
+          Alcotest.test_case "enclave traces" `Quick test_trace_enclave;
+          Alcotest.test_case "bucket scan traces" `Quick test_trace_bucket_scan;
+          Alcotest.test_case "check_all" `Quick test_trace_check_all;
+          Alcotest.test_case "masked scan answers" `Quick test_trace_scan_really_answers;
+        ] );
+    ]

@@ -245,6 +245,50 @@ let test_ct_select () =
   Alcotest.(check string) "true" "aaa" (Lw_crypto.Ct.select true "aaa" "bbb");
   Alcotest.(check string) "false" "bbb" (Lw_crypto.Ct.select false "aaa" "bbb")
 
+let test_ct_mask_of_bit () =
+  Alcotest.(check int) "bit 0" 0x00 (Lw_crypto.Ct.mask_of_bit 0);
+  Alcotest.(check int) "bit 1" 0xff (Lw_crypto.Ct.mask_of_bit 1);
+  (* only the low bit participates *)
+  Alcotest.(check int) "even" 0x00 (Lw_crypto.Ct.mask_of_bit 2);
+  Alcotest.(check int) "odd" 0xff (Lw_crypto.Ct.mask_of_bit 7)
+
+(* deterministic property coverage via Det_rng: Ct.equal must agree with
+   String.equal everywhere, and select must pick the right arm for every
+   condition and length *)
+let test_ct_equal_matches_string_equal () =
+  let rng = Lw_util.Det_rng.of_string_seed "ct-equal-prop" in
+  for _ = 1 to 500 do
+    let n = Lw_util.Det_rng.int rng 65 in
+    let a = Lw_util.Det_rng.bytes rng n in
+    (* equal pair *)
+    Alcotest.(check bool) "same string" true (Lw_crypto.Ct.equal a a);
+    (* perturb one byte: must compare unequal exactly like String.equal *)
+    if n > 0 then begin
+      let i = Lw_util.Det_rng.int rng n in
+      let b = Bytes.of_string a in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+      let b = Bytes.to_string b in
+      Alcotest.(check bool) "perturbed" (String.equal a b) (Lw_crypto.Ct.equal a b)
+    end;
+    (* independent random pair, frequently different lengths *)
+    let c = Lw_util.Det_rng.bytes rng (Lw_util.Det_rng.int rng 65) in
+    Alcotest.(check bool) "random pair" (String.equal a c) (Lw_crypto.Ct.equal a c)
+  done
+
+let test_ct_select_all_lengths () =
+  let rng = Lw_util.Det_rng.of_string_seed "ct-select-prop" in
+  for n = 0 to 64 do
+    let a = Lw_util.Det_rng.bytes rng n in
+    let b = Lw_util.Det_rng.bytes rng n in
+    Alcotest.(check string) "cond true" a (Lw_crypto.Ct.select true a b);
+    Alcotest.(check string) "cond false" b (Lw_crypto.Ct.select false a b);
+    Alcotest.(check string) "bit 1" a (Lw_crypto.Ct.select_int 1 a b);
+    Alcotest.(check string) "bit 0" b (Lw_crypto.Ct.select_int 0 a b)
+  done;
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Ct.select_int: length mismatch") (fun () ->
+      ignore (Lw_crypto.Ct.select true "a" "bb"))
+
 (* ------------------------- X25519 ------------------------- *)
 
 let test_x25519_rfc7748_vectors () =
@@ -406,6 +450,9 @@ let () =
           Alcotest.test_case "drbg uniform_int" `Quick test_drbg_uniform_int;
           Alcotest.test_case "ct equal" `Quick test_ct_equal;
           Alcotest.test_case "ct select" `Quick test_ct_select;
+          Alcotest.test_case "ct mask_of_bit" `Quick test_ct_mask_of_bit;
+          Alcotest.test_case "ct equal =~ String.equal" `Quick test_ct_equal_matches_string_equal;
+          Alcotest.test_case "ct select all lengths" `Quick test_ct_select_all_lengths;
         ] );
       ( "x25519",
         [
