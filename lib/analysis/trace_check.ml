@@ -107,8 +107,81 @@ let check_bucket_scan ?(domain_bits = 6) ?(bucket_size = 32) ?(alphas = [ 3; 47 
   end
 
 (* ------------------------------------------------------------------ *)
+(* Bit-packed batch scan (PIR mode)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The batched kernel streams the database in blocks, revisiting each
+   block once per 8-query pack; the observable per-bucket trace is the
+   same deterministic block walk whatever the secret indices are. Drive
+   [answer_batch] with several distinct batches of secrets (both key
+   shares of each) and assert (1) the traces are identical across
+   batches and parties, and (2) every bucket appears exactly once per
+   pack — i.e. coverage is full and no bucket's visit count correlates
+   with any query's target. *)
+let batch_scan_traces ~domain_bits ~bucket_size alphas =
+  let db = Lw_pir.Bucket_db.create ~domain_bits ~bucket_size in
+  Lw_pir.Bucket_db.fill_random db (Lw_util.Det_rng.of_string_seed "trace-check-db");
+  let server = Lw_pir.Server.create db in
+  let rng = Lw_crypto.Drbg.create ~seed:"trace-check-dpf" in
+  let pairs = List.map (fun alpha -> Lw_dpf.Dpf.gen ~domain_bits ~alpha rng) alphas in
+  List.map
+    (fun party ->
+      let keys =
+        Array.of_list (List.map (fun (k0, k1) -> if party = 0 then k0 else k1) pairs)
+      in
+      Lw_pir.Bucket_db.set_tracing db true;
+      ignore (Lw_pir.Server.answer_batch server keys);
+      let t = Lw_pir.Bucket_db.access_trace db in
+      Lw_pir.Bucket_db.set_tracing db false;
+      t)
+    [ 0; 1 ]
+
+let check_batch_scan ?(domain_bits = 5) ?(bucket_size = 24)
+    ?(batches = [ [ 3; 9; 17; 28; 5 ]; [ 1; 2; 30; 31; 16 ] ]) () =
+  let widths = List.sort_uniq compare (List.map List.length batches) in
+  match widths with
+  | [] -> err "check_batch_scan: need at least one batch"
+  | _ :: _ :: _ ->
+      (* trace shape legitimately depends on the (public) batch width, so
+         probing obliviousness requires same-width batches *)
+      err "check_batch_scan: batches must share one width"
+  | [ width ] when width < 2 || List.length batches < 2 ->
+      err "check_batch_scan: need >= 2 batches of >= 2 queries"
+  | [ width ] -> (
+      let n_packs = (width + 7) / 8 in
+      let size = 1 lsl domain_bits in
+      let traces =
+        List.concat_map (batch_scan_traces ~domain_bits ~bucket_size) batches
+      in
+      match traces with
+      | [] -> err "check_batch_scan: no traces"
+      | first :: rest ->
+          if List.exists (fun t -> t <> first) rest then
+            err "batch scan trace depends on the secret indices"
+          else begin
+            let counts = Array.make size 0 in
+            let oob = ref None in
+            List.iter
+              (fun i ->
+                if i < 0 || i >= size then oob := Some i else counts.(i) <- counts.(i) + 1)
+              first;
+            match !oob with
+            | Some i -> err "batch scan trace left the bucket range: %d" i
+            | None ->
+                let bad = ref None in
+                Array.iteri (fun i c -> if c <> n_packs && !bad = None then bad := Some (i, c)) counts;
+                (match !bad with
+                | Some (i, c) ->
+                    err
+                      "batch scan visited bucket %d %d times (expected once per pack, %d)"
+                      i c n_packs
+                | None -> Ok ())
+          end)
 
 let check_all () =
   match check_enclave () with
   | Error _ as e -> e
-  | Ok () -> check_bucket_scan ()
+  | Ok () -> (
+      match check_bucket_scan () with
+      | Error _ as e -> e
+      | Ok () -> check_batch_scan ())

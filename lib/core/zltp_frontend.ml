@@ -63,6 +63,26 @@ let answer t k =
   let subs = Lw_dpf.Distributed.split k ~shard_bits:t.shard_bits in
   combine_shares t (Array.mapi (fun i sub -> Lw_pir.Server.answer t.shards.(i) sub) subs)
 
+(* Batched private-GET across the shard fleet: split every query's key
+   once, then hand each shard the whole batch of its sub-keys so it runs
+   the bit-packed scan kernel ([Lw_pir.Server.answer_batch]) — one
+   streamed pass over the shard's slice per 8 queries instead of one per
+   query. Query [q]'s answer is the XOR of its per-shard shares, exactly
+   as in [answer]. *)
+let answer_batch t keys =
+  Array.iter (check_key t) keys;
+  let n = Array.length keys in
+  if n = 0 then [||]
+  else begin
+    let subs = Array.map (fun k -> Lw_dpf.Distributed.split k ~shard_bits:t.shard_bits) keys in
+    let by_shard =
+      Array.mapi
+        (fun s shard -> Lw_pir.Server.answer_batch shard (Array.map (fun sub -> sub.(s)) subs))
+        t.shards
+    in
+    Array.init n (fun q -> combine_shares t (Array.map (fun shares -> shares.(q)) by_shard))
+  end
+
 type shard_timing = { shard : int; eval_s : float; scan_s : float }
 
 let answer_timed t k =

@@ -27,6 +27,13 @@ val get_bucket : t -> int -> string
 val answer : t -> Lw_dpf.Dpf.key -> string
 (** Full private-GET answer share for a full-domain DPF key. *)
 
+val answer_batch : t -> Lw_dpf.Dpf.key array -> string array
+(** Batched private-GET: each shard receives the whole batch of its
+    sub-keys and answers them through the bit-packed scan kernel
+    ({!Lw_pir.Server.answer_batch}), so a batch pays one streamed pass
+    over each shard's slice per 8 queries. [answer_batch t [|k|]] and
+    [[|answer t k|]] agree byte-for-byte. *)
+
 type shard_timing = { shard : int; eval_s : float; scan_s : float }
 
 val answer_timed : t -> Lw_dpf.Dpf.key -> string * shard_timing list

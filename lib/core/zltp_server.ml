@@ -42,17 +42,39 @@ let conn server = { server; mode = None }
 
 let err code message = Some (Zltp_wire.Err { code; message })
 
-let answer_pir t dpf_key =
+let deserialize_key t dpf_key =
   match Lw_dpf.Dpf.deserialize dpf_key with
   | Error e -> Error (Printf.sprintf "bad DPF key: %s" e)
+  | Ok k -> if Lw_dpf.Dpf.domain_bits k <> domain_bits t then Error "domain mismatch" else Ok k
+
+let answer_pir t dpf_key =
+  match deserialize_key t dpf_key with
+  | Error _ as e -> e
   | Ok k -> (
       match t.backend with
-      | Pir_flat s ->
-          if Lw_dpf.Dpf.domain_bits k <> domain_bits t then Error "domain mismatch"
-          else Ok (Lw_pir.Server.answer s k)
-      | Pir_sharded fe ->
-          if Lw_dpf.Dpf.domain_bits k <> Zltp_frontend.domain_bits fe then Error "domain mismatch"
-          else Ok (Zltp_frontend.answer fe k)
+      | Pir_flat s -> Ok (Lw_pir.Server.answer s k)
+      | Pir_sharded fe -> Ok (Zltp_frontend.answer fe k)
+      | Enclave_backend _ -> Error "wrong mode")
+
+(* A batch deserialises and validates every key before any evaluation, so
+   a malformed key rejects the whole request rather than wasting a
+   partial scan; the accepted keys then ride the bit-packed batch kernel
+   — one streamed pass over the data per 8 queries — instead of
+   re-entering the single-query path per key. *)
+let answer_pir_batch t dpf_keys =
+  let rec deserialize_all acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | key :: rest -> (
+        match deserialize_key t key with
+        | Ok k -> deserialize_all (k :: acc) rest
+        | Error _ as e -> e)
+  in
+  match deserialize_all [] dpf_keys with
+  | Error _ as e -> e
+  | Ok keys -> (
+      match t.backend with
+      | Pir_flat s -> Ok (Array.to_list (Lw_pir.Server.answer_batch s keys))
+      | Pir_sharded fe -> Ok (Array.to_list (Zltp_frontend.answer_batch fe keys))
       | Enclave_backend _ -> Error "wrong mode")
 
 let handle c msg =
@@ -101,18 +123,15 @@ let handle c msg =
       | None -> err Zltp_wire.err_not_negotiated "hello first"
       | Some Zltp_mode.Enclave -> err Zltp_wire.err_wrong_mode "session is in enclave mode"
       | Some Zltp_mode.Pir2 -> (
-          let rec answer_all acc = function
-            | [] -> Ok (List.rev acc)
-            | k :: rest -> (
-                match answer_pir t k with
-                | Ok share -> answer_all (share :: acc) rest
-                | Error e -> Error e)
-          in
-          match answer_all [] dpf_keys with
+          match answer_pir_batch t dpf_keys with
           | Ok shares ->
               t.queries <- t.queries + List.length shares;
+              Log.debug (fun m ->
+                  m "%s: private-GET batch of %d answered" t.server_id (List.length shares));
               Some (Zltp_wire.Batch_answer { shares })
-          | Error e -> err Zltp_wire.err_bad_request e))
+          | Error e ->
+              Log.info (fun m -> m "%s: rejected batch: %s" t.server_id e);
+              err Zltp_wire.err_bad_request e))
   | Zltp_wire.Enclave_get { key } -> (
       match c.mode with
       | None -> err Zltp_wire.err_not_negotiated "hello first"

@@ -29,35 +29,35 @@ let sbox =
   in
   Array.init 256 (fun i -> affine inv.(i))
 
-(* T-tables: te0.(x) = [S(x)*2, S(x), S(x), S(x)*3] packed big-endian into
-   an int32; te1..te3 are byte rotations of te0. *)
-let pack a b c d =
-  Int32.logor
-    (Int32.shift_left (Int32.of_int a) 24)
-    (Int32.logor
-       (Int32.shift_left (Int32.of_int b) 16)
-       (Int32.logor (Int32.shift_left (Int32.of_int c) 8) (Int32.of_int d)))
+(* All 32-bit words live in the low bits of native [int]s (OCaml's int is
+   at least 63 bits on every supported target). The boxed [Int32]
+   formulation this replaces allocated a box per temporary; at ~2 AES
+   calls per DPF tree node that was megabytes of minor-heap traffic per
+   full-domain evaluation, and the GC pressure leaked into the scan phase
+   sharing the loop. Immediate ints allocate nothing. *)
+
+(* T-tables: te0.(x) = [S(x)*2, S(x), S(x), S(x)*3] packed big-endian;
+   te1..te3 are byte rotations of te0. *)
+let pack a b c d = (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
 
 let te0 = Array.init 256 (fun i ->
     let s = sbox.(i) in
     pack (gf_mul s 2) s s (gf_mul s 3))
 
-let rotr32_8 x =
-  Int32.logor (Int32.shift_right_logical x 8) (Int32.shift_left x 24)
+let rotr32_8 x = (x lsr 8) lor ((x lsl 24) land 0xffffffff)
 
 let te1 = Array.map rotr32_8 te0
 let te2 = Array.map rotr32_8 te1
 let te3 = Array.map rotr32_8 te2
 
-type key = int32 array
+type key = int array
 (* 44 round words for AES-128 (10 rounds + initial whitening). *)
 
 let sub_word w =
-  let b k = Int32.to_int (Int32.shift_right_logical w k) land 0xff in
+  let b k = (w lsr k) land 0xff in
   pack sbox.(b 24) sbox.(b 16) sbox.(b 8) sbox.(b 0)
 
-let rot_word w =
-  Int32.logor (Int32.shift_left w 8) (Int32.shift_right_logical w 24)
+let rot_word w = ((w lsl 8) land 0xffffffff) lor (w lsr 24)
 
 let rcon =
   let r = Array.make 11 0 in
@@ -69,7 +69,7 @@ let rcon =
 
 let expand_key k =
   if String.length k <> 16 then invalid_arg "Aes128.expand_key: key must be 16 bytes";
-  let w = Array.make 44 0l in
+  let w = Array.make 44 0 in
   for i = 0 to 3 do
     w.(i) <- pack (Char.code k.[4 * i]) (Char.code k.[(4 * i) + 1])
         (Char.code k.[(4 * i) + 2]) (Char.code k.[(4 * i) + 3])
@@ -77,21 +77,20 @@ let expand_key k =
   for i = 4 to 43 do
     let temp = w.(i - 1) in
     let temp =
-      if i mod 4 = 0 then
-        Int32.logxor (sub_word (rot_word temp)) (Int32.shift_left (Int32.of_int rcon.(i / 4)) 24)
+      if i mod 4 = 0 then sub_word (rot_word temp) lxor (rcon.(i / 4) lsl 24)
       else temp
     in
-    w.(i) <- Int32.logxor w.(i - 4) temp
+    w.(i) <- w.(i - 4) lxor temp
   done;
   w
 
-let byte32 x k = Int32.to_int (Int32.shift_right_logical x k) land 0xff
+let byte32 x k = (x lsr k) land 0xff
 
 let get32_be b off =
-  let g i = Int32.of_int (Char.code (Bytes.unsafe_get b (off + i))) in
-  Int32.logor
-    (Int32.shift_left (g 0) 24)
-    (Int32.logor (Int32.shift_left (g 1) 16) (Int32.logor (Int32.shift_left (g 2) 8) (g 3)))
+  (Char.code (Bytes.unsafe_get b off) lsl 24)
+  lor (Char.code (Bytes.unsafe_get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.unsafe_get b (off + 3))
 
 let set32_be b off v =
   Bytes.unsafe_set b off (Char.unsafe_chr (byte32 v 24));
@@ -99,39 +98,43 @@ let set32_be b off v =
   Bytes.unsafe_set b (off + 2) (Char.unsafe_chr (byte32 v 8));
   Bytes.unsafe_set b (off + 3) (Char.unsafe_chr (byte32 v 0))
 
-let encrypt_block_into w ~src ~src_pos ~dst ~dst_pos =
-  let ( ^! ) = Int32.logxor in
-  let s0 = ref (get32_be src src_pos ^! w.(0))
-  and s1 = ref (get32_be src (src_pos + 4) ^! w.(1))
-  and s2 = ref (get32_be src (src_pos + 8) ^! w.(2))
-  and s3 = ref (get32_be src (src_pos + 12) ^! w.(3)) in
-  for round = 1 to 9 do
+(* final round: SubBytes + ShiftRows, no MixColumns *)
+let final_word a b c d rk =
+  pack sbox.(byte32 a 24) sbox.(byte32 b 16) sbox.(byte32 c 8) sbox.(byte32 d 0) lxor rk
+
+(* The round state travels as int arguments of a fully-applied top-level
+   tail-recursive loop: no ref cells, no closures — this path must not
+   allocate (~2 AES calls per DPF tree node, and a local [let rec] here
+   would cost a 7-word closure per block). *)
+let rec rounds w dst dst_pos round s0 s1 s2 s3 =
+  if round > 9 then begin
+    set32_be dst dst_pos (final_word s0 s1 s2 s3 (Array.unsafe_get w 40));
+    set32_be dst (dst_pos + 4) (final_word s1 s2 s3 s0 (Array.unsafe_get w 41));
+    set32_be dst (dst_pos + 8) (final_word s2 s3 s0 s1 (Array.unsafe_get w 42));
+    set32_be dst (dst_pos + 12) (final_word s3 s0 s1 s2 (Array.unsafe_get w 43))
+  end
+  else
     let t0 =
-      te0.(byte32 !s0 24) ^! te1.(byte32 !s1 16) ^! te2.(byte32 !s2 8)
-      ^! te3.(byte32 !s3 0) ^! w.(4 * round)
+      te0.(byte32 s0 24) lxor te1.(byte32 s1 16) lxor te2.(byte32 s2 8)
+      lxor te3.(byte32 s3 0) lxor Array.unsafe_get w (4 * round)
     and t1 =
-      te0.(byte32 !s1 24) ^! te1.(byte32 !s2 16) ^! te2.(byte32 !s3 8)
-      ^! te3.(byte32 !s0 0) ^! w.((4 * round) + 1)
+      te0.(byte32 s1 24) lxor te1.(byte32 s2 16) lxor te2.(byte32 s3 8)
+      lxor te3.(byte32 s0 0) lxor Array.unsafe_get w ((4 * round) + 1)
     and t2 =
-      te0.(byte32 !s2 24) ^! te1.(byte32 !s3 16) ^! te2.(byte32 !s0 8)
-      ^! te3.(byte32 !s1 0) ^! w.((4 * round) + 2)
+      te0.(byte32 s2 24) lxor te1.(byte32 s3 16) lxor te2.(byte32 s0 8)
+      lxor te3.(byte32 s1 0) lxor Array.unsafe_get w ((4 * round) + 2)
     and t3 =
-      te0.(byte32 !s3 24) ^! te1.(byte32 !s0 16) ^! te2.(byte32 !s1 8)
-      ^! te3.(byte32 !s2 0) ^! w.((4 * round) + 3)
+      te0.(byte32 s3 24) lxor te1.(byte32 s0 16) lxor te2.(byte32 s1 8)
+      lxor te3.(byte32 s2 0) lxor Array.unsafe_get w ((4 * round) + 3)
     in
-    s0 := t0;
-    s1 := t1;
-    s2 := t2;
-    s3 := t3
-  done;
-  (* final round: SubBytes + ShiftRows, no MixColumns *)
-  let final a b c d rk =
-    pack sbox.(byte32 a 24) sbox.(byte32 b 16) sbox.(byte32 c 8) sbox.(byte32 d 0) ^! rk
-  in
-  set32_be dst dst_pos (final !s0 !s1 !s2 !s3 w.(40));
-  set32_be dst (dst_pos + 4) (final !s1 !s2 !s3 !s0 w.(41));
-  set32_be dst (dst_pos + 8) (final !s2 !s3 !s0 !s1 w.(42));
-  set32_be dst (dst_pos + 12) (final !s3 !s0 !s1 !s2 w.(43))
+    rounds w dst dst_pos (round + 1) t0 t1 t2 t3
+
+let encrypt_block_into w ~src ~src_pos ~dst ~dst_pos =
+  rounds w dst dst_pos 1
+    (get32_be src src_pos lxor Array.unsafe_get w 0)
+    (get32_be src (src_pos + 4) lxor Array.unsafe_get w 1)
+    (get32_be src (src_pos + 8) lxor Array.unsafe_get w 2)
+    (get32_be src (src_pos + 12) lxor Array.unsafe_get w 3)
 
 let encrypt_block w block =
   if String.length block <> 16 then invalid_arg "Aes128.encrypt_block: block must be 16 bytes";
@@ -144,7 +147,7 @@ let mmo_fixed_key = expand_key (String.sub "lightweb-mmo-key!" 0 16)
 let mmo_hash_into w ~tweak ~src ~src_pos ~dst ~dst_pos =
   (* dst := AES(src ^ tweak) ^ (src ^ tweak), tweak folded into byte 0 *)
   let x0 = Bytes.get src src_pos in
-  Bytes.set src src_pos (Char.chr (Char.code x0 lxor (tweak land 0xff)));
+  Bytes.set src src_pos (Char.unsafe_chr (Char.code x0 lxor (tweak land 0xff)));
   encrypt_block_into w ~src ~src_pos ~dst ~dst_pos;
   Lw_util.Xorbuf.xor_into ~src ~src_pos ~dst ~dst_pos ~len:16;
   Bytes.set src src_pos x0

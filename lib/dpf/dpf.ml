@@ -167,6 +167,32 @@ let eval_depth k ~depth f =
 let eval_all_seeds k f = eval_depth k ~depth:k.domain_bits f
 let eval_all_bits k f = eval_depth k ~depth:k.domain_bits (fun x t _ _ -> f x t)
 
+(* Blocked leaf-bit streaming: expand the top of the tree depth-first,
+   and for each internal node [block_bits] above the leaves fill one
+   reusable [2^block_bits]-byte buffer with that sub-tree's selection
+   bits. The scratch stays cache-resident instead of the full-domain
+   buffer an [eval_all_bits] caller would materialise — the traversal
+   half of the PIR server's fused eval↔scan kernel. *)
+let eval_bits_blocked k ~block_bits f =
+  if block_bits < 0 || block_bits > k.domain_bits then
+    invalid_arg "Dpf.eval_bits_blocked: block_bits out of range";
+  let top = k.domain_bits - block_bits in
+  let block = 1 lsl block_bits in
+  let buf = Bytes.create block in
+  let bufs = Array.init (max 1 block_bits) (fun _ -> Bytes.create 32) in
+  let rec fill level seed_buf seed_pos index t =
+    if level = k.domain_bits then Bytes.unsafe_set buf index (Char.unsafe_chr t)
+    else begin
+      let children = bufs.(level - top) in
+      let bits = expand_node k ~level ~seed:seed_buf ~seed_pos ~t ~children in
+      fill (level + 1) children 0 (2 * index) (bits land 1);
+      fill (level + 1) children 16 ((2 * index) + 1) (bits lsr 1)
+    end
+  in
+  eval_depth k ~depth:top (fun prefix t seed_buf pos ->
+      fill top seed_buf pos 0 t;
+      f (prefix lsl block_bits) buf block)
+
 let selected_indices k =
   let acc = ref [] in
   eval_all_bits k (fun x t -> if t = 1 then acc := x :: !acc);

@@ -48,6 +48,15 @@ val eval_all_bits : key -> (int -> int -> unit) -> unit
 (** [eval_all_bits k f] calls [f x bit] for every [x] in domain order.
     Costs ~2 PRG calls per leaf via depth-first tree expansion. *)
 
+val eval_bits_blocked : key -> block_bits:int -> (int -> Bytes.t -> int -> unit) -> unit
+(** [eval_bits_blocked k ~block_bits f] streams the full-domain evaluation
+    in blocks of [2^block_bits] leaves: [f base buf count] is called once
+    per block, in domain order, with [buf.[j]] the selection bit (0/1
+    byte) of leaf [base + j] for [j < count]. The same block-sized scratch
+    buffer is reused across calls — valid only during the callback — so a
+    full-domain pass allocates [2^block_bits] bytes instead of
+    [2^domain_bits]. [block_bits] must lie in [0..domain_bits]. *)
+
 val eval_all_seeds : key -> (int -> int -> Bytes.t -> int -> unit) -> unit
 (** [eval_all_seeds k f] calls [f x bit seed_buf pos] with the 16-byte leaf
     seed at [pos] in [seed_buf] (valid only during the callback); callers

@@ -52,9 +52,7 @@ let get t i =
 
 let is_empty t i =
   check_index t i;
-  let off = i * t.bucket_size in
-  let rec go j = j >= t.bucket_size || (Bytes.get t.data (off + j) = '\x00' && go (j + 1)) in
-  go 0
+  Lw_util.Xorbuf.is_zero_range t.data ~pos:(i * t.bucket_size) ~len:t.bucket_size
 
 let clear t i =
   check_index t i;
@@ -70,6 +68,27 @@ let xor_bucket_into_masked t i ~mask ~dst =
   check_index t i;
   record t i;
   Lw_util.Xorbuf.xor_into_masked ~mask ~src:t.data ~src_pos:(i * t.bucket_size) ~dst
+    ~dst_pos:0 ~len:t.bucket_size
+
+(* The fused and batched kernels enter here at block/pack granularity,
+   but tracing stays bucket-granular: every bucket the kernel streams is
+   recorded individually, so [Lw_analysis.Trace_check] observes exactly
+   the per-bucket access sequence the scalar path would produce. *)
+
+let xor_block_into_masked t ~base ~count ~bits ~bits_pos ~dst =
+  if count < 0 || base < 0 || base > size t - count then
+    invalid_arg "Bucket_db: block out of range";
+  if t.tracing then
+    for j = 0 to count - 1 do
+      t.trace_rev <- (base + j) :: t.trace_rev
+    done;
+  Lw_util.Xorbuf.xor_buckets_masked ~bits ~bits_pos ~count ~src:t.data
+    ~src_pos:(base * t.bucket_size) ~bucket:t.bucket_size ~dst
+
+let xor_bucket_into_packed t i ~pack ~dsts =
+  check_index t i;
+  record t i;
+  Lw_util.Xorbuf.xor_into_packed ~pack ~src:t.data ~src_pos:(i * t.bucket_size) ~dsts
     ~dst_pos:0 ~len:t.bucket_size
 
 let fill_random t rng =

@@ -41,6 +41,21 @@ val xor_bucket_into_masked : t -> int -> mask:int -> dst:Bytes.t -> unit
     mask derived from its selection bit has an access trace independent of
     the selection — the constant-trace scan step. *)
 
+val xor_block_into_masked :
+  t -> base:int -> count:int -> bits:Bytes.t -> bits_pos:int -> dst:Bytes.t -> unit
+(** [xor_block_into_masked db ~base ~count ~bits ~bits_pos ~dst] XORs the
+    [count] consecutive buckets starting at [base] into [dst], bucket
+    [base + j] masked by the selection byte [bits.[bits_pos + j]] — the
+    fused scan's block step ({!Lw_util.Xorbuf.xor_buckets_masked} under
+    one bounds gate). Tracing records every bucket individually, exactly
+    as the scalar path would. *)
+
+val xor_bucket_into_packed : t -> int -> pack:int -> dsts:Bytes.t array -> unit
+(** [xor_bucket_into_packed db i ~pack ~dsts] streams bucket [i] once into
+    the 1–8 accumulators of [dsts], lane [q] masked by bit [q] of [pack] —
+    the bit-packed batch scan's step. The bucket is recorded once in the
+    access trace regardless of how many lanes ride the pass. *)
+
 val set_tracing : t -> bool -> unit
 (** Enable/disable access tracing; either way the trace is reset. Tracing
     is for the obliviousness checker — leave it off on hot paths. *)

@@ -7,6 +7,12 @@ let check_domain t k =
   if Lw_dpf.Dpf.domain_bits k <> Bucket_db.domain_bits t.db then
     invalid_arg "Server: key domain does not match database"
 
+(* Reference two-pass path: materialise one selection byte per bucket,
+   then walk the database a second time. Kept (unchanged from the seed,
+   checked-word kernel included) as the baseline the fused and batched
+   kernels are benchmarked (E19) and property-tested against, and so E1
+   can time the DPF and scan phases separately. *)
+
 let eval_bits t k =
   check_domain t k;
   let bits = Bytes.create (Bucket_db.size t.db) in
@@ -28,23 +34,73 @@ let scan t bits =
   done;
   Bytes.unsafe_to_string acc
 
-let answer t k = scan t (eval_bits t k)
+(* ------------------------------------------------------------------ *)
+(* The fused, blocked kernel — the only production scan path           *)
+(* ------------------------------------------------------------------ *)
 
+(* Cache budget for one streamed block of database: big enough to
+   amortise per-block overheads, small enough that a block and the
+   accumulators it feeds stay resident while a batch's packs revisit it. *)
+let block_bytes = 1 lsl 18
+
+let block_bits_for t =
+  let bucket = Bucket_db.bucket_size t.db in
+  let d = Bucket_db.domain_bits t.db in
+  let rec fit b = if b >= d || (1 lsl (b + 1)) * bucket > block_bytes then b else fit (b + 1) in
+  fit 0
+
+(* Eval↔scan fusion: each block of DPF leaf bits is XOR-consumed against
+   the matching database block the moment the traversal produces it — no
+   full-domain bits buffer, one pass over the data, per-block bounds
+   checks instead of per-bucket ones. *)
+let answer t k =
+  check_domain t k;
+  let acc = Bytes.make (Bucket_db.bucket_size t.db) '\x00' in
+  Lw_dpf.Dpf.eval_bits_blocked k ~block_bits:(block_bits_for t) (fun base bits count ->
+      Bucket_db.xor_block_into_masked t.db ~base ~count ~bits ~bits_pos:0 ~dst:acc);
+  Bytes.unsafe_to_string acc
+
+(* Bit-packed batching: up to 8 queries' selection bits share one byte
+   per bucket, and the scan streams each database block once per pack,
+   feeding all of the pack's accumulators from the same resident bytes.
+   A batch therefore costs one DB traversal (plus register-masked XOR
+   work per lane) instead of [n] re-entries of the scalar scan. *)
 let answer_batch t keys =
   Array.iter (check_domain t) keys;
   let n = Array.length keys in
-  let all_bits = Array.map (eval_bits t) keys in
-  let accs = Array.init n (fun _ -> Bytes.make (Bucket_db.bucket_size t.db) '\x00') in
-  (* one pass over the data: every accumulator is fed from the same
-     streamed bucket, so the scan cost is paid once per batch; masked like
-     [scan] so per-query work is independent of the share bits *)
-  for i = 0 to Bucket_db.size t.db - 1 do
-    for q = 0 to n - 1 do
-      let mask = mask_of_bit (Char.code (Bytes.unsafe_get all_bits.(q) i)) in
-      Bucket_db.xor_bucket_into_masked t.db i ~mask ~dst:accs.(q)
-    done
-  done;
-  Array.map Bytes.unsafe_to_string accs
+  if n = 0 then [||]
+  else if n = 1 then [| answer t keys.(0) |]
+  else begin
+    let size = Bucket_db.size t.db in
+    let bucket = Bucket_db.bucket_size t.db in
+    let n_packs = (n + 7) / 8 in
+    (* pack p's byte for bucket i carries query [8p+q]'s bit at bit q *)
+    let packed = Array.init n_packs (fun _ -> Bytes.make size '\x00') in
+    Array.iteri
+      (fun q k ->
+        let p = packed.(q lsr 3) and bit = q land 7 in
+        Lw_dpf.Dpf.eval_all_bits k (fun i b ->
+            let cur = Char.code (Bytes.unsafe_get p i) in
+            Bytes.unsafe_set p i (Char.unsafe_chr (cur lor ((b land 1) lsl bit)))))
+      keys;
+    let accs = Array.init n (fun _ -> Bytes.make bucket '\x00') in
+    let lanes = Array.init n_packs (fun p -> Array.sub accs (8 * p) (min 8 (n - (8 * p)))) in
+    let block = max 1 (block_bytes / bucket) in
+    let base = ref 0 in
+    while !base < size do
+      let stop = min size (!base + block) in
+      for p = 0 to n_packs - 1 do
+        let bits = packed.(p) and dsts = lanes.(p) in
+        for i = !base to stop - 1 do
+          Bucket_db.xor_bucket_into_packed t.db i
+            ~pack:(Char.code (Bytes.unsafe_get bits i))
+            ~dsts
+        done
+      done;
+      base := stop
+    done;
+    Array.map Bytes.unsafe_to_string accs
+  end
 
 let answer_serialized t key_bytes =
   match Lw_dpf.Dpf.deserialize key_bytes with

@@ -2,11 +2,16 @@
     linear data scan (the two cost components the paper's §5.1
     microbenchmark separates: 64 ms DPF evaluation + 103 ms scan per GiB).
 
-    [eval_bits] and [scan] are exposed separately so benchmarks can time
-    each phase; [answer] composes them. [answer_batch] amortises the scan:
-    it evaluates every key's selection bits first, then makes one pass
-    over the database feeding all accumulators — the batching experiment
-    of §5.1. *)
+    The production path is the fused, blocked kernel: {!answer} consumes
+    DPF leaf bits block-by-block against the matching database block as
+    the traversal produces them, and {!answer_batch} packs up to 8
+    queries' selection bits into one byte per bucket so a batch pays one
+    streamed pass over the data ({!Lw_util.Xorbuf.xor_into_packed}).
+
+    {!eval_bits} and {!scan} remain the seed's two-pass reference
+    implementation: benchmarks (E1, E19) time its phases separately and
+    the property tests assert the fused and batched kernels agree with it
+    byte-for-byte. *)
 
 type t
 
@@ -14,18 +19,22 @@ val create : Bucket_db.t -> t
 val db : t -> Bucket_db.t
 
 val eval_bits : t -> Lw_dpf.Dpf.key -> Bytes.t
-(** [eval_bits t k] is one byte (0/1) per bucket, in index order. Raises
-    [Invalid_argument] if the key's domain differs from the database's. *)
+(** [eval_bits t k] is one byte (0/1) per bucket, in index order — the
+    first pass of the reference path. Raises [Invalid_argument] if the
+    key's domain differs from the database's. *)
 
 val scan : t -> Bytes.t -> string
 (** [scan t bits] XORs every bucket whose bit is set into a fresh
-    accumulator of [bucket_size] bytes. *)
+    accumulator of [bucket_size] bytes — the second pass of the reference
+    path (scalar per-bucket masked kernel). *)
 
 val answer : t -> Lw_dpf.Dpf.key -> string
-(** One private-GET response share. *)
+(** One private-GET response share, via the fused single-pass kernel. *)
 
 val answer_batch : t -> Lw_dpf.Dpf.key array -> string array
-(** All responses computed with a single fused pass over the data. *)
+(** All responses from one streamed pass over the data, selection bits
+    bit-packed 8 queries to the byte; a partial final pack (batch size
+    not a multiple of 8) runs the same kernel on fewer lanes. *)
 
 val answer_serialized : t -> string -> (string, string) result
 (** Wire-level entry point: deserialises the key, validates the domain,

@@ -1,5 +1,15 @@
+(* Unchecked native-endian word access. Every exported function validates
+   its ranges once with [check_bounds] before entering a word loop, so the
+   per-word bounds checks the safe accessors would pay (three per XOR'd
+   word) are hoisted out of the scan kernels entirely. *)
+external unsafe_get64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external unsafe_set64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+
 let check_bounds name pos len total =
-  if pos < 0 || len < 0 || pos + len > total then
+  (* [pos > total - len] rather than [pos + len > total]: the sum can wrap
+     negative for huge [len] and slip past the check, and every unsafe
+     word access below relies on this gate. *)
+  if pos < 0 || len < 0 || pos > total - len then
     invalid_arg (Printf.sprintf "Xorbuf.%s: range out of bounds" name)
 
 (* The 64-bit inner loop reads/writes unaligned native-endian words; the
@@ -9,9 +19,9 @@ let xor_into ~src ~src_pos ~dst ~dst_pos ~len =
   check_bounds "xor_into(dst)" dst_pos len (Bytes.length dst);
   let words = len / 8 in
   for i = 0 to words - 1 do
-    let s = Bytes.get_int64_ne src (src_pos + (8 * i)) in
-    let d = Bytes.get_int64_ne dst (dst_pos + (8 * i)) in
-    Bytes.set_int64_ne dst (dst_pos + (8 * i)) (Int64.logxor s d)
+    let s = unsafe_get64 src (src_pos + (8 * i)) in
+    let d = unsafe_get64 dst (dst_pos + (8 * i)) in
+    unsafe_set64 dst (dst_pos + (8 * i)) (Int64.logxor s d)
   done;
   for i = 8 * words to len - 1 do
     let s = Char.code (Bytes.unsafe_get src (src_pos + i)) in
@@ -42,6 +52,113 @@ let xor_into_masked ~mask ~src ~src_pos ~dst ~dst_pos ~len =
     Bytes.unsafe_set dst (dst_pos + i) (Char.unsafe_chr ((s land mask) lxor d))
   done
 
+(* Fused-scan block kernel: XOR [count] consecutive [bucket]-byte records
+   of [src] into [dst], record [j] masked by the selection byte
+   [bits.[bits_pos + j]] (0 or 1). One bounds gate for the whole block,
+   then unchecked words; every record costs the same read-modify-write of
+   [dst] whether selected or not, preserving the constant-trace
+   discipline of [xor_into_masked] at block granularity. *)
+let xor_buckets_masked ~bits ~bits_pos ~count ~src ~src_pos ~bucket ~dst =
+  if bucket <= 0 || count < 0 then invalid_arg "Xorbuf.xor_buckets_masked: bad geometry";
+  check_bounds "xor_buckets_masked(bits)" bits_pos count (Bytes.length bits);
+  check_bounds "xor_buckets_masked(src)" src_pos (count * bucket) (Bytes.length src);
+  check_bounds "xor_buckets_masked(dst)" 0 bucket (Bytes.length dst);
+  let words = bucket / 8 in
+  let words4 = words land lnot 3 in
+  let tail = 8 * words in
+  for j = 0 to count - 1 do
+    let b = Char.code (Bytes.unsafe_get bits (bits_pos + j)) land 1 in
+    (* splat the selection bit to a full word: 0x00..00 or 0xff..ff *)
+    let m64 = Int64.neg (Int64.of_int b) in
+    let m = (0 - b) land 0xff in
+    let base = src_pos + (j * bucket) in
+    (* 4-way unrolled: buckets are word-multiples in practice, and the
+       loop-carried overhead is what separates this kernel from memory
+       bandwidth once the bounds checks are gone *)
+    let o = ref 0 in
+    while !o < 8 * words4 do
+      let o0 = !o in
+      let s0 = unsafe_get64 src (base + o0) and d0 = unsafe_get64 dst o0 in
+      let s1 = unsafe_get64 src (base + o0 + 8) and d1 = unsafe_get64 dst (o0 + 8) in
+      let s2 = unsafe_get64 src (base + o0 + 16) and d2 = unsafe_get64 dst (o0 + 16) in
+      let s3 = unsafe_get64 src (base + o0 + 24) and d3 = unsafe_get64 dst (o0 + 24) in
+      unsafe_set64 dst o0 (Int64.logxor (Int64.logand s0 m64) d0);
+      unsafe_set64 dst (o0 + 8) (Int64.logxor (Int64.logand s1 m64) d1);
+      unsafe_set64 dst (o0 + 16) (Int64.logxor (Int64.logand s2 m64) d2);
+      unsafe_set64 dst (o0 + 24) (Int64.logxor (Int64.logand s3 m64) d3);
+      o := o0 + 32
+    done;
+    for w = words4 to words - 1 do
+      let s = unsafe_get64 src (base + (8 * w)) in
+      let d = unsafe_get64 dst (8 * w) in
+      unsafe_set64 dst (8 * w) (Int64.logxor (Int64.logand s m64) d)
+    done;
+    for i = tail to bucket - 1 do
+      let s = Char.code (Bytes.unsafe_get src (base + i)) in
+      let d = Char.code (Bytes.unsafe_get dst i) in
+      Bytes.unsafe_set dst i (Char.unsafe_chr ((s land m) lxor d))
+    done
+  done
+
+(* Bit-packed batch kernel: one streamed pass over the source feeds up to
+   8 accumulators. [pack] carries lane q's selection bit at bit q; each
+   source word is loaded once and XORed into every lane under that lane's
+   splatted mask, so a batch of 8 queries costs one traversal of the data
+   plus 8 register-masked accumulations instead of 8 separate scans. All
+   lanes perform identical memory work regardless of their bits. *)
+let xor_into_packed ~pack ~src ~src_pos ~dsts ~dst_pos ~len =
+  let lanes = Array.length dsts in
+  if lanes < 1 || lanes > 8 then invalid_arg "Xorbuf.xor_into_packed: need 1..8 lanes";
+  check_bounds "xor_into_packed(src)" src_pos len (Bytes.length src);
+  Array.iter
+    (fun dst -> check_bounds "xor_into_packed(dst)" dst_pos len (Bytes.length dst))
+    dsts;
+  let pack = pack land 0xff in
+  let words = len / 8 in
+  let tail = 8 * words in
+  if lanes = 8 then begin
+    (* the full-pack fast path: lanes and masks pinned in locals, the
+       inner loop is straight-line with no per-lane indexing *)
+    let d0 = Array.unsafe_get dsts 0 and d1 = Array.unsafe_get dsts 1 in
+    let d2 = Array.unsafe_get dsts 2 and d3 = Array.unsafe_get dsts 3 in
+    let d4 = Array.unsafe_get dsts 4 and d5 = Array.unsafe_get dsts 5 in
+    let d6 = Array.unsafe_get dsts 6 and d7 = Array.unsafe_get dsts 7 in
+    let m q = Int64.neg (Int64.of_int ((pack lsr q) land 1)) in
+    let m0 = m 0 and m1 = m 1 and m2 = m 2 and m3 = m 3 in
+    let m4 = m 4 and m5 = m 5 and m6 = m 6 and m7 = m 7 in
+    for w = 0 to words - 1 do
+      let o = dst_pos + (8 * w) in
+      let s = unsafe_get64 src (src_pos + (8 * w)) in
+      unsafe_set64 d0 o (Int64.logxor (Int64.logand s m0) (unsafe_get64 d0 o));
+      unsafe_set64 d1 o (Int64.logxor (Int64.logand s m1) (unsafe_get64 d1 o));
+      unsafe_set64 d2 o (Int64.logxor (Int64.logand s m2) (unsafe_get64 d2 o));
+      unsafe_set64 d3 o (Int64.logxor (Int64.logand s m3) (unsafe_get64 d3 o));
+      unsafe_set64 d4 o (Int64.logxor (Int64.logand s m4) (unsafe_get64 d4 o));
+      unsafe_set64 d5 o (Int64.logxor (Int64.logand s m5) (unsafe_get64 d5 o));
+      unsafe_set64 d6 o (Int64.logxor (Int64.logand s m6) (unsafe_get64 d6 o));
+      unsafe_set64 d7 o (Int64.logxor (Int64.logand s m7) (unsafe_get64 d7 o))
+    done
+  end
+  else
+    for w = 0 to words - 1 do
+      let o = dst_pos + (8 * w) in
+      let s = unsafe_get64 src (src_pos + (8 * w)) in
+      for q = 0 to lanes - 1 do
+        let m64 = Int64.neg (Int64.of_int ((pack lsr q) land 1)) in
+        let dst = Array.unsafe_get dsts q in
+        unsafe_set64 dst o (Int64.logxor (Int64.logand s m64) (unsafe_get64 dst o))
+      done
+    done;
+  for i = tail to len - 1 do
+    let s = Char.code (Bytes.unsafe_get src (src_pos + i)) in
+    for q = 0 to lanes - 1 do
+      let mask = (0 - ((pack lsr q) land 1)) land 0xff in
+      let dst = Array.unsafe_get dsts q in
+      let d = Char.code (Bytes.unsafe_get dst (dst_pos + i)) in
+      Bytes.unsafe_set dst (dst_pos + i) (Char.unsafe_chr ((s land mask) lxor d))
+    done
+  done
+
 let xor_string_into ~src ~src_pos ~dst ~dst_pos ~len =
   xor_into ~src:(Bytes.unsafe_of_string src) ~src_pos ~dst ~dst_pos ~len
 
@@ -52,7 +169,20 @@ let xor a b =
   xor_string_into ~src:b ~src_pos:0 ~dst:out ~dst_pos:0 ~len:n;
   Bytes.unsafe_to_string out
 
-let is_zero s =
+(* Word-at-a-time OR-accumulate with a byte tail: this sits on the
+   [Bucket_db.is_empty]/[occupied] path, where the seed's [String.iter]
+   cost a closure call per byte. *)
+let is_zero_range b ~pos ~len =
+  check_bounds "is_zero_range" pos len (Bytes.length b);
+  let words = len / 8 in
+  let acc64 = ref 0L in
+  for w = 0 to words - 1 do
+    acc64 := Int64.logor !acc64 (unsafe_get64 b (pos + (8 * w)))
+  done;
   let acc = ref 0 in
-  String.iter (fun c -> acc := !acc lor Char.code c) s;
-  !acc = 0
+  for i = 8 * words to len - 1 do
+    acc := !acc lor Char.code (Bytes.unsafe_get b (pos + i))
+  done;
+  Int64.equal !acc64 0L && !acc = 0
+
+let is_zero s = is_zero_range (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)

@@ -1,12 +1,17 @@
 (** Fast XOR over byte buffers.
 
     The PIR data scan is dominated by XOR-accumulating fixed-size buckets
-    into a response buffer, so these loops work 64 bits at a time. *)
+    into a response buffer, so these loops work 64 bits at a time. All
+    functions validate their ranges once up front and then run unchecked
+    word loops; [xor_into_masked] deliberately keeps the checked accessors
+    of the seed implementation — it is the reference kernel the fused and
+    packed scan paths are benchmarked (E19) and property-tested against. *)
 
 val xor_into : src:Bytes.t -> src_pos:int -> dst:Bytes.t -> dst_pos:int -> len:int -> unit
 (** [xor_into ~src ~src_pos ~dst ~dst_pos ~len] XORs [len] bytes of [src]
     (from [src_pos]) into [dst] (at [dst_pos]). Bounds are checked once up
-    front; raises [Invalid_argument] when a range is out of bounds. *)
+    front; raises [Invalid_argument] when a range is out of bounds
+    (including [pos + len] overflowing the integer range). *)
 
 val xor_into_masked :
   mask:int -> src:Bytes.t -> src_pos:int -> dst:Bytes.t -> dst_pos:int -> len:int -> unit
@@ -15,6 +20,33 @@ val xor_into_masked :
     so selecting buckets by mask (instead of skipping them with a branch)
     keeps a scan's memory trace independent of the selection bits. *)
 
+val xor_buckets_masked :
+  bits:Bytes.t ->
+  bits_pos:int ->
+  count:int ->
+  src:Bytes.t ->
+  src_pos:int ->
+  bucket:int ->
+  dst:Bytes.t ->
+  unit
+(** [xor_buckets_masked ~bits ~bits_pos ~count ~src ~src_pos ~bucket ~dst]
+    is the fused-scan block kernel: for each [j < count], XOR the
+    [bucket]-byte record at [src_pos + j*bucket] into [dst] under the mask
+    splatted from selection byte [bits.[bits_pos + j]] (low bit used). One
+    bounds gate covers the whole block; every record performs the identical
+    read-modify-write of [dst] whether its bit is set or not. *)
+
+val xor_into_packed :
+  pack:int -> src:Bytes.t -> src_pos:int -> dsts:Bytes.t array -> dst_pos:int -> len:int -> unit
+(** [xor_into_packed ~pack ~src ~src_pos ~dsts ~dst_pos ~len] is the
+    bit-packed batch kernel: each source word is loaded once and XORed into
+    every accumulator in [dsts] under that lane's mask, lane [q]'s
+    selection bit taken from bit [q] of [pack]. [dsts] must hold 1–8
+    buffers (a partial final pack uses fewer than 8); all lanes do
+    identical memory work regardless of their bits. Raises
+    [Invalid_argument] on an empty or oversized [dsts] or any
+    out-of-bounds range. *)
+
 val xor_string_into : src:string -> src_pos:int -> dst:Bytes.t -> dst_pos:int -> len:int -> unit
 (** Same as {!xor_into} with an immutable source. *)
 
@@ -22,5 +54,10 @@ val xor : string -> string -> string
 (** [xor a b] is the bytewise XOR of two equal-length strings. Raises
     [Invalid_argument] if lengths differ. *)
 
+val is_zero_range : Bytes.t -> pos:int -> len:int -> bool
+(** [is_zero_range b ~pos ~len] is true iff bytes [pos..pos+len) of [b]
+    are all ['\x00']. Scans 64-bit words with a byte tail. *)
+
 val is_zero : string -> bool
-(** [is_zero s] is true iff every byte of [s] is ['\x00']. *)
+(** [is_zero s] is true iff every byte of [s] is ['\x00']. Scans 64-bit
+    words with a byte tail. *)

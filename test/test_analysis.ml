@@ -255,6 +255,25 @@ let test_trace_bucket_scan () =
     (Trace_check.check_bucket_scan ~domain_bits:8 ~bucket_size:64
        ~alphas:[ 0; 17; 255 ] ())
 
+let test_trace_batch_scan () =
+  check_ok "batch defaults" (Trace_check.check_batch_scan ());
+  (* width 8 (one full pack) and width 9 (full pack + 1-lane pack) *)
+  check_ok "batch full pack"
+    (Trace_check.check_batch_scan ~domain_bits:6 ~bucket_size:48
+       ~batches:[ [ 0; 1; 2; 3; 60; 61; 62; 63 ]; [ 7; 9; 11; 13; 17; 19; 23; 29 ] ] ());
+  check_ok "batch two packs"
+    (Trace_check.check_batch_scan ~domain_bits:6 ~bucket_size:48
+       ~batches:
+         [ [ 0; 1; 2; 3; 60; 61; 62; 63; 32 ]; [ 7; 9; 11; 13; 17; 19; 23; 29; 31 ] ]
+       ());
+  (* the checker itself must reject malformed probes *)
+  (match Trace_check.check_batch_scan ~batches:[ [ 1; 2 ]; [ 3; 4; 5 ] ] () with
+  | Ok () -> Alcotest.fail "mixed-width batches accepted"
+  | Error _ -> ());
+  match Trace_check.check_batch_scan ~batches:[ [ 1; 2 ] ] () with
+  | Ok () -> Alcotest.fail "single batch accepted"
+  | Error _ -> ()
+
 let test_trace_check_all () = check_ok "check_all" (Trace_check.check_all ())
 
 let test_trace_scan_really_answers () =
@@ -305,6 +324,7 @@ let () =
         [
           Alcotest.test_case "enclave traces" `Quick test_trace_enclave;
           Alcotest.test_case "bucket scan traces" `Quick test_trace_bucket_scan;
+          Alcotest.test_case "batch scan traces" `Quick test_trace_batch_scan;
           Alcotest.test_case "check_all" `Quick test_trace_check_all;
           Alcotest.test_case "masked scan answers" `Quick test_trace_scan_really_answers;
         ] );

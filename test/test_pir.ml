@@ -385,9 +385,71 @@ let prop_cuckoo_find_after_inserts =
       List.iter (fun k -> ignore (Cuckoo.insert c ~key:k ~value:(String.uppercase_ascii k))) keys;
       List.for_all (fun k -> Cuckoo.find c k = Some (String.uppercase_ascii k)) keys)
 
+(* Kernel-equivalence properties: the fused single-pass kernel behind
+   [Server.answer] and the bit-packed batch kernel behind
+   [Server.answer_batch] must agree byte-for-byte with the two-pass
+   reference ([eval_bits] + [scan]) on arbitrary geometry — domain sizes
+   that don't divide the scan block, bucket sizes that aren't word
+   multiples, batch widths across the 8-lane pack boundary. *)
+
+let scan_geometry =
+  QCheck.make
+    ~print:(fun (d, b, alphas) ->
+      Printf.sprintf "domain_bits=%d bucket=%d alphas=[%s]" d b
+        (String.concat ";" (List.map string_of_int alphas)))
+    QCheck.Gen.(
+      int_range 1 9 >>= fun d ->
+      int_range 1 80 >>= fun b ->
+      list_size (int_range 1 17) (int_range 0 ((1 lsl d) - 1)) >>= fun alphas ->
+      return (d, b, alphas))
+
+let reference_answer server k = Server.scan server (Server.eval_bits server k)
+
+let prop_fused_matches_reference =
+  QCheck.Test.make ~name:"fused answer = two-pass reference" ~count:60 scan_geometry
+    (fun (domain_bits, bucket_size, alphas) ->
+      let db = Bucket_db.create ~domain_bits ~bucket_size in
+      Bucket_db.fill_random db (det "fused-prop");
+      let server = Server.create db in
+      let drbg = rng () in
+      List.for_all
+        (fun alpha ->
+          let k0, k1 = Lw_dpf.Dpf.gen ~domain_bits ~alpha drbg in
+          List.for_all
+            (fun k -> String.equal (Server.answer server k) (reference_answer server k))
+            [ k0; k1 ])
+        alphas)
+
+let prop_batch_matches_naive =
+  QCheck.Test.make ~name:"batched answers = naive per-query loop" ~count:40 scan_geometry
+    (fun (domain_bits, bucket_size, alphas) ->
+      let db = Bucket_db.create ~domain_bits ~bucket_size in
+      Bucket_db.fill_random db (det "batch-prop");
+      let server = Server.create db in
+      let drbg = rng () in
+      let keys =
+        Array.of_list
+          (List.mapi
+             (fun i alpha ->
+               let k0, k1 = Lw_dpf.Dpf.gen ~domain_bits ~alpha drbg in
+               if i land 1 = 0 then k0 else k1)
+             alphas)
+      in
+      let batched = Server.answer_batch server keys in
+      Array.length batched = Array.length keys
+      && Array.for_all2
+           (fun share k -> String.equal share (reference_answer server k))
+           batched keys)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_pir_roundtrip; prop_record_roundtrip; prop_cuckoo_find_after_inserts ]
+    [
+      prop_pir_roundtrip;
+      prop_record_roundtrip;
+      prop_cuckoo_find_after_inserts;
+      prop_fused_matches_reference;
+      prop_batch_matches_naive;
+    ]
 
 let () =
   Alcotest.run "lw_pir"

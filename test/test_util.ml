@@ -40,10 +40,103 @@ let test_xor_bounds () =
     (Invalid_argument "Xorbuf.xor_into(src): range out of bounds") (fun () ->
       Lw_util.Xorbuf.xor_into ~src:b ~src_pos:4 ~dst:(Bytes.make 32 '\x00') ~dst_pos:0 ~len:8)
 
+let test_xor_bounds_overflow () =
+  (* pos + len overflowing the native int must still be rejected: the
+     check is [pos > total - len], never the wrappable sum *)
+  let b = Bytes.make 8 '\x00' in
+  let dst = Bytes.make 8 '\x00' in
+  List.iter
+    (fun (spos, len) ->
+      Alcotest.check_raises
+        (Printf.sprintf "pos=%d len=%d" spos len)
+        (Invalid_argument "Xorbuf.xor_into(src): range out of bounds")
+        (fun () -> Lw_util.Xorbuf.xor_into ~src:b ~src_pos:spos ~dst ~dst_pos:0 ~len))
+    [ (1, max_int); (max_int, 8); (4, max_int - 2); (0, -1); (-1, 4) ]
+
 let test_is_zero () =
   Alcotest.(check bool) "zero" true (Lw_util.Xorbuf.is_zero "\x00\x00");
   Alcotest.(check bool) "nonzero" false (Lw_util.Xorbuf.is_zero "\x00\x01");
-  Alcotest.(check bool) "empty" true (Lw_util.Xorbuf.is_zero "")
+  Alcotest.(check bool) "empty" true (Lw_util.Xorbuf.is_zero "");
+  (* word loop + byte tail: lone set bits at every offset of a 19-byte
+     buffer, plus ranges that exclude the set byte *)
+  for i = 0 to 18 do
+    let b = Bytes.make 19 '\x00' in
+    Bytes.set b i '\x80';
+    Alcotest.(check bool)
+      (Printf.sprintf "bit at %d seen" i)
+      false
+      (Lw_util.Xorbuf.is_zero_range b ~pos:0 ~len:19);
+    Alcotest.(check bool)
+      (Printf.sprintf "bit at %d excluded" i)
+      true
+      (Lw_util.Xorbuf.is_zero_range b ~pos:((i + 1) mod 19)
+         ~len:(if i = 18 then 18 else 19 - i - 1));
+    Alcotest.(check bool) "empty range" true (Lw_util.Xorbuf.is_zero_range b ~pos:i ~len:0)
+  done;
+  Alcotest.check_raises "range checked"
+    (Invalid_argument "Xorbuf.is_zero_range: range out of bounds") (fun () ->
+      ignore (Lw_util.Xorbuf.is_zero_range (Bytes.make 4 '\x00') ~pos:2 ~len:max_int))
+
+(* reference implementation for the masked/packed kernels *)
+let naive_masked ~mask ~src ~dst =
+  Bytes.mapi
+    (fun i d -> Char.chr (Char.code d lxor (Char.code (Bytes.get src i) land mask)))
+    dst
+
+let test_xor_buckets_masked () =
+  let rng = Lw_util.Det_rng.of_string_seed "buckets-masked" in
+  List.iter
+    (fun (count, bucket) ->
+      let src = Bytes.of_string (Lw_util.Det_rng.bytes rng (count * bucket)) in
+      let bits =
+        Bytes.init count (fun _ -> Char.chr (Lw_util.Det_rng.int rng 2))
+      in
+      let dst = Bytes.of_string (Lw_util.Det_rng.bytes rng bucket) in
+      let expected = ref (Bytes.copy dst) in
+      for j = 0 to count - 1 do
+        let mask = -Char.code (Bytes.get bits j) land 0xff in
+        let b = Bytes.sub src (j * bucket) bucket in
+        expected := naive_masked ~mask ~src:b ~dst:!expected
+      done;
+      Lw_util.Xorbuf.xor_buckets_masked ~bits ~bits_pos:0 ~count ~src ~src_pos:0 ~bucket
+        ~dst;
+      Alcotest.(check string)
+        (Printf.sprintf "count=%d bucket=%d" count bucket)
+        (Bytes.to_string !expected) (Bytes.to_string dst))
+    [ (1, 1); (3, 7); (4, 8); (5, 32); (2, 33); (7, 40); (1, 100) ];
+  Alcotest.check_raises "src range"
+    (Invalid_argument "Xorbuf.xor_buckets_masked(src): range out of bounds") (fun () ->
+      Lw_util.Xorbuf.xor_buckets_masked ~bits:(Bytes.make 4 '\x00') ~bits_pos:0 ~count:4
+        ~src:(Bytes.make 16 '\x00') ~src_pos:0 ~bucket:8 ~dst:(Bytes.make 8 '\x00'))
+
+let test_xor_into_packed () =
+  let rng = Lw_util.Det_rng.of_string_seed "packed" in
+  List.iter
+    (fun (lanes, len) ->
+      let src = Bytes.of_string (Lw_util.Det_rng.bytes rng len) in
+      let pack = Lw_util.Det_rng.int rng 256 in
+      let dsts =
+        Array.init lanes (fun _ -> Bytes.of_string (Lw_util.Det_rng.bytes rng len))
+      in
+      let expected =
+        Array.mapi
+          (fun q dst ->
+            naive_masked ~mask:(-((pack lsr q) land 1) land 0xff) ~src ~dst)
+          dsts
+      in
+      Lw_util.Xorbuf.xor_into_packed ~pack ~src ~src_pos:0 ~dsts ~dst_pos:0 ~len;
+      Array.iteri
+        (fun q dst ->
+          Alcotest.(check string)
+            (Printf.sprintf "lanes=%d len=%d lane=%d" lanes len q)
+            (Bytes.to_string expected.(q))
+            (Bytes.to_string dst))
+        dsts)
+    [ (1, 5); (2, 16); (3, 17); (8, 8); (8, 64); (8, 67); (5, 33); (8, 1) ];
+  Alcotest.check_raises "lane count"
+    (Invalid_argument "Xorbuf.xor_into_packed: need 1..8 lanes") (fun () ->
+      Lw_util.Xorbuf.xor_into_packed ~pack:0 ~src:(Bytes.make 8 '\x00') ~src_pos:0
+        ~dsts:[||] ~dst_pos:0 ~len:8)
 
 let test_bitops () =
   Alcotest.(check int32) "rotl32" 0x00000001l (Lw_util.Bitops.rotl32 0x80000000l 1);
@@ -184,7 +277,10 @@ let () =
           Alcotest.test_case "basic" `Quick test_xor_basic;
           Alcotest.test_case "offsets" `Quick test_xor_into_offsets;
           Alcotest.test_case "bounds" `Quick test_xor_bounds;
+          Alcotest.test_case "bounds overflow" `Quick test_xor_bounds_overflow;
           Alcotest.test_case "is_zero" `Quick test_is_zero;
+          Alcotest.test_case "buckets masked" `Quick test_xor_buckets_masked;
+          Alcotest.test_case "packed lanes" `Quick test_xor_into_packed;
         ] );
       ("bitops", [ Alcotest.test_case "all" `Quick test_bitops ]);
       ( "det_rng",
