@@ -918,16 +918,163 @@ let e19_scan_kernels ?(write_json = true) ?geometry () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E20: retry-induced tail latency under fault injection (PR3)          *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything runs on ONE virtual clock: an endpoint wrapper charges a
+   nominal RTT per successful reply and a full receive-timeout when the
+   fault schedule swallows one, and the same clock drives the client's
+   backoff sleeps. Per-op latency is then simply the clock delta around
+   the private-GET — deterministic, seed-replayable, and finished in
+   milliseconds of real time even for thousands of simulated seconds. *)
+let e20_chaos_tail_latency ?(write_json = true) () =
+  section "E20" "retry tail latency under injected faults (virtual time)";
+  let domain_bits = 8 and bucket_size = 256 and shard_bits = 2 in
+  let ops = if fast then 200 else 1000 in
+  let rtt_s = 0.030 and timeout_s = 0.250 in
+  let db = Lw_pir.Bucket_db.create ~domain_bits ~bucket_size in
+  Lw_pir.Bucket_db.fill_random db (det "e20-db");
+  let policy =
+    {
+      Lightweb.Zltp_client.attempts = 4;
+      base_backoff_s = 0.05;
+      max_backoff_s = 1.0;
+      deadline_s = 30.0;
+    }
+  in
+  let charge_latency clock (ep : Lw_net.Endpoint.t) =
+    {
+      ep with
+      Lw_net.Endpoint.recv =
+        (fun () ->
+          match ep.Lw_net.Endpoint.recv () with
+          | msg ->
+              Lw_net.Clock.sleep clock rtt_s;
+              msg
+          | exception Lw_net.Endpoint.Timeout ->
+              Lw_net.Clock.sleep clock timeout_s;
+              raise Lw_net.Endpoint.Timeout);
+    }
+  in
+  (* [dead_first] prepends a permanently unreachable replica to role 0,
+     so every dial walks past it — the kill-one-replica failover run *)
+  let run_world ~label ~rate ~dead_first =
+    let clock = Lw_net.Clock.virtual_ () in
+    let dials = Array.make_matrix 2 2 0 in
+    let mk_replica role i =
+      Lightweb.Zltp_client.replica
+        ~name:(Printf.sprintf "r%d-%d" role i)
+        (fun () ->
+          let d = dials.(role).(i) in
+          dials.(role).(i) <- d + 1;
+          let fe = Lightweb.Zltp_frontend.of_db db ~shard_bits in
+          let srv =
+            Lightweb.Zltp_server.create ~blob_size:bucket_size
+              (Lightweb.Zltp_server.Pir_sharded fe)
+          in
+          let sched =
+            if rate = 0.0 then Lw_net.Faulty.none
+            else
+              Lw_net.Faulty.bernoulli
+                ~seed:(Printf.sprintf "e20-%s/r%d-%d/d%d" label role i d)
+                ~rate
+          in
+          let faulty, _ = Lw_net.Faulty.wrap ~clock sched (Lightweb.Zltp_server.endpoint srv) in
+          Ok (charge_latency clock faulty))
+    in
+    let dead =
+      Lightweb.Zltp_client.replica ~name:"r0-dead" (fun () -> Error "connection refused")
+    in
+    let role0 = List.init 2 (mk_replica 0) in
+    let roles = [ (if dead_first then dead :: role0 else role0); List.init 2 (mk_replica 1) ] in
+    match
+      Lightweb.Zltp_client.connect_replicated ~policy ~clock
+        ~rng:(Lw_crypto.Drbg.create ~seed:("e20-" ^ label))
+        roles
+    with
+    | Error e -> failwith (Printf.sprintf "E20 %s: connect failed: %s" label e)
+    | Ok client ->
+        let lat = Array.make ops 0.0 in
+        let errors = ref 0 in
+        for i = 0 to ops - 1 do
+          let idx = (i * 37 + 11) mod (1 lsl domain_bits) in
+          let t0 = Lw_net.Clock.now clock in
+          (match Lightweb.Zltp_client.get_raw_index client idx with
+          | Ok b -> assert (String.equal b (Lw_pir.Bucket_db.get db idx))
+          | Error _ -> incr errors);
+          lat.(i) <- (Lw_net.Clock.now clock -. t0) *. 1000.
+        done;
+        let retries = Lightweb.Zltp_client.retries client in
+        let failovers = Lightweb.Zltp_client.failovers client in
+        Lightweb.Zltp_client.close client;
+        let p q = Lw_util.Stats.percentile lat q in
+        row "%-12s %6.1f%% faults %8.1f ms p50 %8.1f ms p99 %5d retries %3d failovers %3d errors\n"
+          label (100. *. rate) (p 50.) (p 99.) retries failovers !errors;
+        ( label,
+          rate,
+          [
+            ("rate", Json.Number rate);
+            ("ops", Json.Number (float_of_int ops));
+            ("p50_ms", Json.Number (p 50.));
+            ("p99_ms", Json.Number (p 99.));
+            ("mean_ms", Json.Number (Lw_util.Stats.mean lat));
+            ("retries", Json.Number (float_of_int retries));
+            ("failovers", Json.Number (float_of_int failovers));
+            ("errors", Json.Number (float_of_int !errors));
+          ] )
+  in
+  Printf.printf "(%d ops/run, rtt %.0f ms, recv timeout %.0f ms, virtual time)\n\n" ops
+    (1000. *. rtt_s) (1000. *. timeout_s);
+  let r0 = run_world ~label:"fault-0pct" ~rate:0.0 ~dead_first:false in
+  let r1 = run_world ~label:"fault-1pct" ~rate:0.01 ~dead_first:false in
+  let r5 = run_world ~label:"fault-5pct" ~rate:0.05 ~dead_first:false in
+  let rates = [ r0; r1; r5 ] in
+  let kill = run_world ~label:"kill-replica" ~rate:0.01 ~dead_first:true in
+  Printf.printf
+    "\nfault-free p99 is one RTT; each injected fault adds a timeout plus backoff, so\n\
+     the p99/p50 gap is the paper's tail-latency cost of self-healing. kill-replica\n\
+     shows failover past a dead replica completing every operation.\n";
+  if write_json then begin
+    let open Json in
+    let entry (label, _, fields) = (label, Obj fields) in
+    let j =
+      Obj
+        ([
+           ("experiment", String "E20");
+           ("ops_per_run", Number (float_of_int ops));
+           ("rtt_ms", Number (1000. *. rtt_s));
+           ("recv_timeout_ms", Number (1000. *. timeout_s));
+           ("attempts", Number (float_of_int policy.Lightweb.Zltp_client.attempts));
+         ]
+        @ List.map entry rates
+        @ [ entry kill ])
+    in
+    let oc = open_out "BENCH_chaos.json" in
+    output_string oc (to_string ~pretty:true j);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote BENCH_chaos.json\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 
 (* `--smoke` (the @bench-smoke alias, attached to `dune runtest`) runs
    only E19 at a tiny geometry: it proves the bench harness and both
    kernels execute, without the minutes-long full run. *)
 let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
 
+(* `--chaos` runs only E20 and writes BENCH_chaos.json — the whole run is
+   virtual-time, so it completes in well under a second *)
+let chaos_only = Array.exists (fun a -> a = "--chaos") Sys.argv
+
 let () =
   if smoke then begin
     Printf.printf "lightweb benchmark harness (--smoke: E19 only, tiny geometry)\n";
     e19_scan_kernels ~write_json:false ~geometry:(6, 96, 2) ()
+  end
+  else if chaos_only then begin
+    Printf.printf "lightweb benchmark harness (--chaos: E20 only)\n";
+    e20_chaos_tail_latency ()
   end
   else begin
   Printf.printf "lightweb benchmark harness%s\n" (if fast then " (--fast)" else "");
@@ -961,5 +1108,6 @@ let () =
   e17_queue ();
   e18_lint_cost ();
   e19_scan_kernels ();
+  e20_chaos_tail_latency ();
   Printf.printf "\nall experiments complete.\n"
   end

@@ -15,8 +15,8 @@ open Lightweb
 open Cmdliner
 
 let connect_pair ~host ~port =
-  let e0 = Lw_net.Tcp.connect ~host ~port in
-  let e1 = Lw_net.Tcp.connect ~host ~port:(port + 1) in
+  let e0 = Lw_net.Tcp.connect ~host ~port () in
+  let e1 = Lw_net.Tcp.connect ~host ~port:(port + 1) () in
   Zltp_client.connect [ e0; e1 ]
 
 (* ---------------- universe assembly ---------------- *)

@@ -45,7 +45,7 @@ let () =
   Printf.printf "untrusted host listening on 127.0.0.1:%d\n\n" (Lw_net.Tcp.port tcp);
 
   (* the client: TCP -> secure channel -> ZLTP session (enclave mode) *)
-  let raw = Lw_net.Tcp.connect ~host:"127.0.0.1" ~port:(Lw_net.Tcp.port tcp) in
+  let raw = Lw_net.Tcp.connect ~host:"127.0.0.1" ~port:(Lw_net.Tcp.port tcp) () in
   let counted, counters = Lw_net.Endpoint.with_counters raw in
   let secured =
     match

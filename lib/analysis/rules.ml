@@ -250,6 +250,52 @@ let server_abort =
         "server-abort";
   }
 
-let all = [ ct_equality; secret_branch; nondeterminism; key_print; server_abort ]
+(* ------------------------------------------------------------------ *)
+(* Rule 6: no unbounded waits on protocol request paths.               *)
+(* ------------------------------------------------------------------ *)
+
+(* A request path that can block forever turns one lost message into a
+   hung client (or a leaked server thread). Sleeps must go through the
+   Clock abstraction (virtual in tests, jittered-backoff in the client)
+   and every endpoint [recv] must either run under a transport deadline
+   or carry an explicit [lw-lint: allow unbounded-wait] waiver stating
+   why blocking is correct there. *)
+let unbounded_wait =
+  {
+    name = "unbounded-wait";
+    doc =
+      "lib/core request paths must not block forever: no bare \
+       Unix.sleep/Thread.delay, and every endpoint recv needs a deadline \
+       or an explicit waiver";
+    applies = (fun ctx -> in_lib ctx && has_segment ctx "core");
+    check =
+      (fun ctx tokens ->
+        Array.to_list tokens
+        |> List.filter_map (fun { Lexer.kind; line } ->
+               match kind with
+               | Lexer.Ident name
+                 when matches_any name
+                        ~exact:
+                          [ "Unix.sleep"; "Unix.sleepf"; "Thread.delay"; "Unix.select" ]
+                        ~prefixes:[] ->
+                   Some
+                     (finding ctx "unbounded-wait" line
+                        (Printf.sprintf
+                           "bare wait %s on a request path; route sleeps through Clock"
+                           name))
+               | Lexer.Ident name
+                 when (match List.rev (Lexer.segments name) with
+                      | "recv" :: _ :: _ -> true
+                      | _ -> false) ->
+                   Some
+                     (finding ctx "unbounded-wait" line
+                        (Printf.sprintf
+                           "endpoint receive %s without a visible deadline; ensure the \
+                            transport enforces one or waive explicitly"
+                           name))
+               | _ -> None));
+  }
+
+let all = [ ct_equality; secret_branch; nondeterminism; key_print; server_abort; unbounded_wait ]
 
 let by_name name = List.find_opt (fun r -> r.name = name) all

@@ -8,7 +8,11 @@
    length and, for the enclave, that every entry is a valid leaf of the
    same tree. The concrete leaves/buckets are expected to differ — they
    are (pseudo)random — so equality of the values themselves is exactly
-   what we must NOT require. *)
+   what we must NOT require.
+
+   [check_retry] extends the same discipline to the network: a retried
+   private-GET must look like a brand-new query on the wire (fresh DPF
+   keys, fresh correlation id, identical frame shape). *)
 
 let err fmt = Printf.ksprintf (fun s -> Error s) fmt
 
@@ -178,10 +182,135 @@ let check_batch_scan ?(domain_bits = 5) ?(bucket_size = 24)
                 | None -> Ok ())
           end)
 
+(* ------------------------------------------------------------------ *)
+(* Privacy-preserving retry (ZLTP client)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The self-healing client promises that a retried private-GET is
+   indistinguishable on the wire from a brand-new query: fresh DPF keys,
+   fresh correlation id, identical frame shape. Check it dynamically:
+   run the same GET against a replica set where the preferred replica of
+   one role swallows its first answer (forcing a timeout, failover and
+   retry), record every frame the client sends, and compare against a
+   fault-free control run. *)
+
+let tap log (ep : Lw_net.Endpoint.t) =
+  {
+    Lw_net.Endpoint.send =
+      (fun m ->
+        log := `Send m :: !log;
+        ep.Lw_net.Endpoint.send m);
+    recv =
+      (fun () ->
+        let m = ep.Lw_net.Endpoint.recv () in
+        log := `Recv m :: !log;
+        m);
+    close = ep.Lw_net.Endpoint.close;
+  }
+
+let sent_pir_queries log =
+  List.rev !log
+  |> List.filter_map (function
+       | `Recv _ -> None
+       | `Send frame -> (
+           match Lightweb.Zltp_wire.decode_client frame with
+           | Ok (Lightweb.Zltp_wire.Pir_query { qid; dpf_key }) ->
+               Some (qid, dpf_key, String.length frame)
+           | _ -> None))
+
+let check_retry ?(domain_bits = 6) ?(bucket_size = 32) ?(alpha = 13) () =
+  let open Lightweb in
+  let seed_db = "trace-check-retry-db" in
+  let make_db () =
+    let db = Lw_pir.Bucket_db.create ~domain_bits ~bucket_size in
+    Lw_pir.Bucket_db.fill_random db (Lw_util.Det_rng.of_string_seed seed_db);
+    db
+  in
+  let expected = Lw_pir.Bucket_db.get (make_db ()) alpha in
+  let run ~faulted =
+    let log0 = ref [] and log1 = ref [] in
+    let clock = Lw_net.Clock.virtual_ () in
+    let replica_of ~log ~schedule name =
+      Zltp_client.replica ~name (fun () ->
+          let srv =
+            Zltp_server.create ~server_id:name ~blob_size:bucket_size
+              (Zltp_server.Pir_flat (Lw_pir.Server.create (make_db ())))
+          in
+          let ep, _ = Lw_net.Faulty.wrap ~clock schedule (Zltp_server.endpoint srv) in
+          Ok (tap log ep))
+    in
+    (* on the faulted run, replica a0 swallows its first Answer (recv
+       ordinal 2: after Health_reply and Welcome), so the client times
+       out, fails over to a1 and retries *)
+    let a0_schedule =
+      if faulted then Lw_net.Faulty.of_plan ~recv:[ (2, Lw_net.Faulty.Drop) ] ()
+      else Lw_net.Faulty.none
+    in
+    let roles =
+      [
+        [
+          replica_of ~log:log0 ~schedule:a0_schedule "a0";
+          replica_of ~log:log0 ~schedule:Lw_net.Faulty.none "a1";
+        ];
+        [ replica_of ~log:log1 ~schedule:Lw_net.Faulty.none "b0" ];
+      ]
+    in
+    let rng =
+      Lw_crypto.Drbg.create ~seed:(if faulted then "retry-faulted" else "retry-control")
+    in
+    match Zltp_client.connect_replicated ~rng ~clock roles with
+    | Error e -> Error (Printf.sprintf "connect failed: %s" e)
+    | Ok client ->
+        let result = Zltp_client.get_raw_index client alpha in
+        let stats = (Zltp_client.retries client, Zltp_client.failovers client) in
+        Zltp_client.close client;
+        Ok (result, sent_pir_queries log0, sent_pir_queries log1, stats)
+  in
+  match (run ~faulted:false, run ~faulted:true) with
+  | Error e, _ -> err "control run: %s" e
+  | _, Error e -> err "faulted run: %s" e
+  | Ok (res_c, q0_c, q1_c, (retries_c, _)), Ok (res_f, q0_f, q1_f, (retries_f, failovers_f))
+    -> (
+      let check_value label = function
+        | Error e -> err "%s run failed: %s" label e
+        | Ok v when not (String.equal v expected) -> err "%s run returned wrong bytes" label
+        | Ok _ -> Ok ()
+      in
+      match (check_value "control" res_c, check_value "faulted" res_f) with
+      | (Error _ as e), _ | _, (Error _ as e) -> e
+      | Ok (), Ok () ->
+          if retries_c <> 0 then err "control run retried %d times" retries_c
+          else if retries_f <> 1 then err "faulted run retried %d times, wanted 1" retries_f
+          else if failovers_f <> 1 then
+            err "faulted run failed over %d times, wanted 1" failovers_f
+          else if List.length q0_c <> 1 || List.length q1_c <> 1 then
+            err "control run sent %d+%d queries, wanted 1+1" (List.length q0_c)
+              (List.length q1_c)
+          else if List.length q0_f <> 2 || List.length q1_f <> 2 then
+            err "faulted run sent %d+%d queries, wanted 2+2 (retry on both roles)"
+              (List.length q0_f) (List.length q1_f)
+          else begin
+            let all = q0_c @ q1_c @ q0_f @ q1_f in
+            let sizes = List.sort_uniq compare (List.map (fun (_, _, n) -> n) all) in
+            let keys = List.map (fun (_, k, _) -> k) all in
+            let distinct_keys = List.sort_uniq compare keys in
+            let qids run = List.sort_uniq compare (List.map (fun (q, _, _) -> q) run) in
+            if List.length sizes <> 1 then
+              err "retried query frames differ in size: a retry is distinguishable"
+            else if List.length distinct_keys <> List.length keys then
+              err "a DPF key was reused across attempts: retries must use fresh keys"
+            else if List.length (qids q0_f) <> 2 then
+              err "faulted run reused a correlation id across attempts"
+            else Ok ()
+          end)
+
 let check_all () =
   match check_enclave () with
   | Error _ as e -> e
   | Ok () -> (
       match check_bucket_scan () with
       | Error _ as e -> e
-      | Ok () -> check_batch_scan ())
+      | Ok () -> (
+          match check_batch_scan () with
+          | Error _ as e -> e
+          | Ok () -> check_retry ()))

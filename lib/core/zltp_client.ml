@@ -1,134 +1,460 @@
-type session = { ep : Lw_net.Endpoint.t; welcome : Zltp_wire.server_msg }
-
-type t = {
-  mode : Zltp_mode.t;
-  blob_size : int;
-  domain_bits : int;
-  keymap : Lw_pir.Keymap.t option; (* PIR mode *)
-  sessions : session list;
-  rng : Lw_crypto.Drbg.t;
-  mutable queries : int;
+type policy = {
+  attempts : int;
+  base_backoff_s : float;
+  max_backoff_s : float;
+  deadline_s : float;
 }
 
-let mode t = t.mode
-let blob_size t = t.blob_size
-let domain_bits t = t.domain_bits
+let default_policy =
+  { attempts = 4; base_backoff_s = 0.05; max_backoff_s = 1.0; deadline_s = 30.0 }
+
+type replica = { name : string; dial : unit -> (Lw_net.Endpoint.t, string) result }
+
+let replica ~name dial = { name; dial }
+
+(* A pre-established endpoint as a replica: usable for exactly one dial.
+   If its connection later fails there is nothing to re-dial, so the
+   replica counts as permanently down — the legacy [connect] behaviour. *)
+let of_endpoint ~name ep =
+  let used = ref false in
+  {
+    name;
+    dial =
+      (fun () ->
+        if !used then Error "static endpoint already consumed"
+        else begin
+          used := true;
+          Ok ep
+        end);
+  }
+
+type params = {
+  mode : Zltp_mode.t;
+  domain_bits : int;
+  blob_size : int;
+  hash_key : string;
+}
+
+type session = { ep : Lw_net.Endpoint.t; replica_name : string }
+
+type role = {
+  replicas : replica array;
+  mutable cursor : int; (* currently preferred replica *)
+  mutable session : session option;
+}
+
+type t = {
+  roles : role array;
+  prefer : Zltp_mode.t list;
+  rng : Lw_crypto.Drbg.t;
+  policy : policy;
+  clock : Lw_net.Clock.t;
+  mutable params : params option;
+  mutable keymap : Lw_pir.Keymap.t option;
+  mutable next_qid : int;
+  mutable queries : int;
+  mutable retries : int;
+  mutable failovers : int;
+}
+
+let params_exn t =
+  match t.params with Some p -> p | None -> invalid_arg "Zltp_client: not connected"
+
+let mode t = (params_exn t).mode
+let blob_size t = (params_exn t).blob_size
+let domain_bits t = (params_exn t).domain_bits
 let queries_sent t = t.queries
+let retries t = t.retries
+let failovers t = t.failovers
 
-let roundtrip ep msg =
-  ep.Lw_net.Endpoint.send (Zltp_wire.encode_client msg);
-  match Zltp_wire.decode_server (ep.Lw_net.Endpoint.recv ()) with
-  | Ok reply -> Ok reply
-  | Error e -> Error (Printf.sprintf "undecodable server reply: %s" e)
-  | exception Lw_net.Endpoint.Closed -> Error "connection closed"
+(* qids are plain session-local sequence numbers: public metadata, never
+   derived from request contents. 0 is reserved for "no specific query". *)
+let fresh_qid t =
+  let q = t.next_qid in
+  t.next_qid <- (if q >= 0xFFFFFFFF then 1 else q + 1);
+  q
 
-let connect ?(prefer = [ Zltp_mode.Pir2; Zltp_mode.Enclave ]) ?rng endpoints =
-  let rng = match rng with Some r -> r | None -> Lw_crypto.Drbg.system () in
-  let hello ep =
-    match roundtrip ep (Zltp_wire.Hello { version = Zltp_wire.protocol_version; modes = prefer }) with
-    | Ok (Zltp_wire.Welcome _ as w) -> Ok { ep; welcome = w }
-    | Ok (Zltp_wire.Err { message; _ }) -> Error (Printf.sprintf "server refused: %s" message)
-    | Ok _ -> Error "protocol violation: expected Welcome"
-    | Error e -> Error e
+(* Operation failures split into the two classes the retry loop cares
+   about: [`Transient] (the network or this replica misbehaved — worth a
+   fresh attempt, likely after failing over) and [`Fatal] (the request
+   itself is unacceptable; retrying is useless). *)
+let transient e = Error (`Transient e)
+let fatal e = Error (`Fatal e)
+
+let send_msg ep msg =
+  match ep.Lw_net.Endpoint.send (Zltp_wire.encode_client msg) with
+  | () -> Ok ()
+  | exception Lw_net.Endpoint.Closed -> transient "connection closed on send"
+  | exception Lw_net.Endpoint.Timeout -> transient "send timed out"
+
+(* Receive the reply correlated with [qid], skipping a bounded number of
+   stale replies (late or duplicated answers to earlier attempts that are
+   still sitting in the pipe). Without the qid check a duplicated reply
+   would be XOR-combined into silently wrong bytes. *)
+let recv_matching ep ~qid =
+  let rec go skipped =
+    if skipped > 8 then transient "too many stale replies"
+    else
+      (* deadline enforced by the transport (SO_RCVTIMEO / fault-schedule
+         virtual deadline), surfaced as Endpoint.Timeout below *)
+      match Zltp_wire.decode_server (ep.Lw_net.Endpoint.recv () (* lw-lint: allow unbounded-wait *)) with
+      | Error e -> transient (Printf.sprintf "undecodable server reply: %s" e)
+      | exception Lw_net.Endpoint.Closed -> transient "connection closed"
+      | exception Lw_net.Endpoint.Timeout -> transient "receive timed out"
+      | Ok reply -> (
+          match Zltp_wire.reply_qid reply with
+          | Some q when q = qid -> Ok reply
+          | Some 0 -> (
+              (* session-level error: about us, not a stale query *)
+              match reply with Zltp_wire.Err _ -> Ok reply | _ -> go (skipped + 1))
+          | Some _ -> go (skipped + 1)
+          | None -> go (skipped + 1))
   in
-  let rec hello_all acc = function
-    | [] -> Ok (List.rev acc)
-    | ep :: rest -> ( match hello ep with Ok s -> hello_all (s :: acc) rest | Error e -> Error e)
-  in
-  match hello_all [] endpoints with
+  go 0
+
+(* ---- dialing ---- *)
+
+let check_params t (w : Zltp_wire.server_msg) =
+  match w with
+  | Zltp_wire.Welcome { mode; domain_bits; blob_size; hash_key; _ } -> (
+      match t.params with
+      | None ->
+          t.params <- Some { mode; domain_bits; blob_size; hash_key };
+          if mode = Zltp_mode.Pir2 then
+            t.keymap <- Some (Lw_pir.Keymap.create ~hash_key ~domain_bits);
+          Ok ()
+      | Some p ->
+          if
+            p.mode = mode && p.domain_bits = domain_bits && p.blob_size = blob_size
+            && String.equal p.hash_key hash_key
+          then Ok ()
+          else Error "replica disagrees on session parameters")
+  | _ -> Error "protocol violation: expected Welcome"
+
+(* Dial one replica: Health probe, then Hello. The probe is sent to every
+   replica we try — healthy or not — so the dial trace is uniform and a
+   network observer learns nothing from which replica we settled on beyond
+   what the (public) replica health already reveals. *)
+let dial_replica t (r : replica) =
+  match r.dial () with
   | Error e -> Error e
-  | Ok [] -> Error "no endpoints given"
-  | Ok (first :: _ as sessions) -> (
-      let params s =
-        match s.welcome with
-        | Zltp_wire.Welcome { mode; domain_bits; blob_size; hash_key; _ } ->
-            (mode, domain_bits, blob_size, hash_key)
-        | _ -> assert false
+  | Ok ep -> (
+      let give_up e =
+        ep.Lw_net.Endpoint.close ();
+        Error e
       in
-      let m, d, b, hk = params first in
-      let consistent =
-        List.for_all
-          (fun s ->
-            let m', d', b', hk' = params s in
-            m = m' && d = d' && b = b' && String.equal hk hk')
-          sessions
+      let qid = fresh_qid t in
+      match send_msg ep (Zltp_wire.Health { qid }) with
+      | Error (`Transient e | `Fatal e) -> give_up e
+      | Ok () -> (
+          match recv_matching ep ~qid with
+          | Error (`Transient e | `Fatal e) -> give_up e
+          | Ok (Zltp_wire.Health_reply { shards_down; _ }) when shards_down > 0 ->
+              give_up (Printf.sprintf "replica degraded: %d shard(s) down" shards_down)
+          | Ok (Zltp_wire.Err { message; _ }) -> give_up ("health probe refused: " ^ message)
+          | Ok (Zltp_wire.Health_reply _) -> (
+              match
+                send_msg ep
+                  (Zltp_wire.Hello { version = Zltp_wire.protocol_version; modes = t.prefer })
+              with
+              | Error (`Transient e | `Fatal e) -> give_up e
+              | Ok () -> (
+                  (* transport-enforced deadline, as in recv_matching *)
+                  match
+                    Zltp_wire.decode_server
+                      (ep.Lw_net.Endpoint.recv () (* lw-lint: allow unbounded-wait *))
+                  with
+                  | exception Lw_net.Endpoint.Closed -> give_up "connection closed"
+                  | exception Lw_net.Endpoint.Timeout -> give_up "handshake timed out"
+                  | Error e -> give_up ("undecodable server reply: " ^ e)
+                  | Ok (Zltp_wire.Err { message; _ }) -> give_up ("server refused: " ^ message)
+                  | Ok w -> (
+                      match check_params t w with
+                      | Ok () -> Ok { ep; replica_name = r.name }
+                      | Error e -> give_up e)))
+          | Ok _ -> give_up "protocol violation: expected Health_reply"))
+
+(* Current session for a role, dialing if needed; tries every replica
+   once, starting from the preferred cursor. *)
+let role_session t role =
+  match role.session with
+  | Some s -> Ok s
+  | None ->
+      let n = Array.length role.replicas in
+      let rec try_from k errs =
+        if k >= n then
+          Error
+            (Printf.sprintf "all replicas failed (%s)" (String.concat "; " (List.rev errs)))
+        else begin
+          let idx = (role.cursor + k) mod n in
+          let r = role.replicas.(idx) in
+          match dial_replica t r with
+          | Ok s ->
+              role.cursor <- idx;
+              role.session <- Some s;
+              Ok s
+          | Error e -> try_from (k + 1) ((r.name ^ ": " ^ e) :: errs)
+        end
       in
-      if not consistent then Error "servers disagree on session parameters"
+      try_from 0 []
+
+(* Tear down a role's connection after a failure and point its cursor at
+   the next replica, so the re-dial inside the next attempt fails over. *)
+let fail_role t role =
+  (match role.session with
+  | Some s -> s.ep.Lw_net.Endpoint.close ()
+  | None -> ());
+  role.session <- None;
+  let n = Array.length role.replicas in
+  if n > 1 then begin
+    role.cursor <- (role.cursor + 1) mod n;
+    t.failovers <- t.failovers + 1
+  end
+
+(* ---- retry loop ---- *)
+
+let backoff_duration t ~attempt =
+  let b = t.policy.base_backoff_s *. (2. ** float_of_int attempt) in
+  let b = Float.min b t.policy.max_backoff_s in
+  (* jitter in [b/2, b]: decorrelates retry storms across clients *)
+  b *. (0.5 +. 0.5 *. (float_of_int (Lw_crypto.Drbg.uniform_int t.rng 1024) /. 1024.))
+
+let with_retry t op =
+  let start = Lw_net.Clock.now t.clock in
+  let rec go attempt =
+    match op () with
+    | Ok v -> Ok v
+    | Error (`Fatal e) -> Error e
+    | Error (`Transient e) ->
+        if attempt + 1 >= t.policy.attempts then
+          Error (Printf.sprintf "%s (after %d attempts)" e (attempt + 1))
+        else begin
+          let pause = backoff_duration t ~attempt in
+          let elapsed = Lw_net.Clock.now t.clock -. start in
+          if elapsed +. pause >= t.policy.deadline_s then
+            Error (Printf.sprintf "%s (deadline exceeded)" e)
+          else begin
+            t.retries <- t.retries + 1;
+            Lw_net.Clock.sleep t.clock pause;
+            go (attempt + 1)
+          end
+        end
+  in
+  go 0
+
+(* ---- connection ---- *)
+
+let connect_replicated ?(prefer = [ Zltp_mode.Pir2; Zltp_mode.Enclave ]) ?rng
+    ?(policy = default_policy) ?clock role_replicas =
+  let rng = match rng with Some r -> r | None -> Lw_crypto.Drbg.system () in
+  let clock = match clock with Some c -> c | None -> Lw_net.Clock.real () in
+  if policy.attempts < 1 then Error "policy.attempts must be >= 1"
+  else if List.exists (fun rs -> rs = []) role_replicas then
+    Error "every role needs at least one replica"
+  else begin
+    let roles =
+      Array.of_list
+        (List.map
+           (fun rs -> { replicas = Array.of_list rs; cursor = 0; session = None })
+           role_replicas)
+    in
+    let t =
+      {
+        roles;
+        prefer;
+        rng;
+        policy;
+        clock;
+        params = None;
+        keymap = None;
+        next_qid = 1;
+        queries = 0;
+        retries = 0;
+        failovers = 0;
+      }
+    in
+    let rec dial_all i =
+      if i >= Array.length t.roles then Ok ()
       else
-        match (m, List.length sessions) with
-        | Zltp_mode.Pir2, 2 ->
-            Ok
-              {
-                mode = m;
-                blob_size = b;
-                domain_bits = d;
-                keymap = Some (Lw_pir.Keymap.create ~hash_key:hk ~domain_bits:d);
-                sessions;
-                rng;
-                queries = 0;
-              }
+        match role_session t t.roles.(i) with
+        | Ok _ -> dial_all (i + 1)
+        | Error e -> Error (Printf.sprintf "role %d: %s" i e)
+    in
+    match dial_all 0 with
+    | Error e -> Error e
+    | Ok () -> (
+        let p = params_exn t in
+        match (p.mode, Array.length t.roles) with
+        | Zltp_mode.Pir2, 2 -> Ok t
         | Zltp_mode.Pir2, n ->
-            Error (Printf.sprintf "PIR mode requires exactly 2 non-colluding servers, got %d" n)
-        | Zltp_mode.Enclave, 1 ->
-            Ok
-              {
-                mode = m;
-                blob_size = b;
-                domain_bits = d;
-                keymap = None;
-                sessions;
-                rng;
-                queries = 0;
-              }
+            Error
+              (Printf.sprintf "PIR mode requires exactly 2 non-colluding servers, got %d" n)
+        | Zltp_mode.Enclave, 1 -> Ok t
         | Zltp_mode.Enclave, n ->
             Error (Printf.sprintf "enclave mode uses exactly 1 server, got %d" n))
+  end
 
-let expect_answer = function
-  | Ok (Zltp_wire.Answer { share }) -> Ok share
-  | Ok (Zltp_wire.Err { message; _ }) -> Error message
-  | Ok _ -> Error "protocol violation: expected Answer"
-  | Error e -> Error e
+let connect ?prefer ?rng ?policy ?clock endpoints =
+  match endpoints with
+  | [] -> Error "no endpoints given"
+  | _ ->
+      connect_replicated ?prefer ?rng ?policy ?clock
+        (List.mapi
+           (fun i ep -> [ of_endpoint ~name:(Printf.sprintf "static-%d" i) ep ])
+           endpoints)
 
-let pir_fetch_index t index =
-  match t.sessions with
-  | [ s0; s1 ] -> (
-      let key0, key1 = Lw_dpf.Dpf.gen ~domain_bits:t.domain_bits ~alpha:index t.rng in
-      let q k = Zltp_wire.Pir_query { dpf_key = Lw_dpf.Dpf.serialize k } in
-      match (expect_answer (roundtrip s0.ep (q key0)), expect_answer (roundtrip s1.ep (q key1))) with
-      | Ok r0, Ok r1 ->
-          t.queries <- t.queries + 1;
-          Ok (Lw_pir.Client.combine ~resp0:r0 ~resp1:r1)
-      | Error e, _ | _, Error e -> Error e)
-  | _ -> Error "not a PIR session"
+(* ---- private-GET ----
+
+   Each attempt generates a completely fresh DPF key pair (and a fresh
+   qid), so a retried query is cryptographically indistinguishable from a
+   new one: a server comparing a retry against the original learns nothing
+   about whether they target the same index. Sends to both roles complete
+   before either receive starts, keeping the per-server trace shape
+   independent of which server is slow or failing. *)
+
+let role_err t role = function
+  | Error (`Transient _ as e) ->
+      fail_role t role;
+      Error e
+  | (Error (`Fatal _) | Ok _) as r -> r
+
+let expect_share t role = function
+  | Ok (Zltp_wire.Answer { share; _ }) -> Ok share
+  | Ok (Zltp_wire.Err { code; message; _ }) ->
+      if code = Zltp_wire.err_degraded || code = Zltp_wire.err_internal then
+        role_err t role (transient message)
+      else fatal message
+  | Ok _ -> role_err t role (transient "protocol violation: expected Answer")
+  | Error _ as e -> role_err t role e
+
+let first_error rs =
+  let fatal_first =
+    List.find_opt (function Error (`Fatal _) -> true | _ -> false) rs
+  in
+  match fatal_first with
+  | Some (Error (`Fatal e)) -> fatal e
+  | _ -> (
+      match List.find_opt (function Error _ -> true | _ -> false) rs with
+      | Some (Error (`Transient e)) -> transient e
+      | _ -> transient "internal: no error found")
+
+let pir_sessions t =
+  match t.roles with
+  | [| r0; r1 |] -> (
+      match (role_session t r0, role_session t r1) with
+      | Ok s0, Ok s1 -> Ok ((r0, s0), (r1, s1))
+      | Error e, _ | _, Error e -> transient e)
+  | _ -> fatal "not a PIR session"
+
+let pir_attempt t index =
+  match pir_sessions t with
+  | Error _ as e -> e
+  | Ok ((role0, s0), (role1, s1)) -> (
+      let qid = fresh_qid t in
+      let key0, key1 =
+        Lw_dpf.Dpf.gen ~domain_bits:(params_exn t).domain_bits ~alpha:index t.rng
+      in
+      let q k = Zltp_wire.Pir_query { qid; dpf_key = Lw_dpf.Dpf.serialize k } in
+      let sent0 = role_err t role0 (send_msg s0.ep (q key0)) in
+      let sent1 = role_err t role1 (send_msg s1.ep (q key1)) in
+      match (sent0, sent1) with
+      | Ok (), Ok () -> (
+          let r0 = expect_share t role0 (recv_matching s0.ep ~qid) in
+          let r1 = expect_share t role1 (recv_matching s1.ep ~qid) in
+          match (r0, r1) with
+          | Ok share0, Ok share1 ->
+              t.queries <- t.queries + 1;
+              Ok (Lw_pir.Client.combine ~resp0:share0 ~resp1:share1)
+          | _ -> first_error [ r0; r1 ])
+      | _ -> first_error [ sent0; sent1 ])
+
+let pir_fetch_index t index = with_retry t (fun () -> pir_attempt t index)
 
 let get_raw_index t index =
-  match t.mode with
+  match (params_exn t).mode with
   | Zltp_mode.Pir2 ->
-      if index < 0 || index >= 1 lsl t.domain_bits then Error "index out of domain"
+      if index < 0 || index >= 1 lsl (params_exn t).domain_bits then Error "index out of domain"
       else pir_fetch_index t index
   | Zltp_mode.Enclave -> Error "raw index fetch is PIR-only"
 
+let enclave_attempt t key =
+  match t.roles with
+  | [| role |] -> (
+      match role_session t role with
+      | Error e -> transient e
+      | Ok s -> (
+          let qid = fresh_qid t in
+          match role_err t role (send_msg s.ep (Zltp_wire.Enclave_get { qid; key })) with
+          | (Error _) as e -> e
+          | Ok () -> (
+              match recv_matching s.ep ~qid with
+              | Ok (Zltp_wire.Enclave_answer { value; _ }) ->
+                  t.queries <- t.queries + 1;
+                  Ok value
+              | Ok (Zltp_wire.Err { code; message; _ }) ->
+                  if code = Zltp_wire.err_degraded || code = Zltp_wire.err_internal then
+                    role_err t role (transient message)
+                  else fatal message
+              | Ok _ -> role_err t role (transient "protocol violation: expected Enclave_answer")
+              | Error _ as e -> role_err t role e)))
+  | _ -> fatal "not an enclave session"
+
 let get t key =
-  match t.mode with
+  match (params_exn t).mode with
   | Zltp_mode.Pir2 -> (
       let keymap = Option.get t.keymap in
       match pir_fetch_index t (Lw_pir.Keymap.index_of_key keymap key) with
       | Ok bucket -> Ok (Lw_pir.Record.decode_for_key ~key bucket)
       | Error e -> Error e)
-  | Zltp_mode.Enclave -> (
-      match t.sessions with
-      | [ s ] -> (
-          match roundtrip s.ep (Zltp_wire.Enclave_get { key }) with
-          | Ok (Zltp_wire.Enclave_answer { value }) ->
-              t.queries <- t.queries + 1;
-              Ok value
-          | Ok (Zltp_wire.Err { message; _ }) -> Error message
-          | Ok _ -> Error "protocol violation: expected Enclave_answer"
-          | Error e -> Error e)
-      | _ -> Error "not an enclave session")
+  | Zltp_mode.Enclave -> with_retry t (fun () -> enclave_attempt t key)
+
+let expect_batch t role n = function
+  | Ok (Zltp_wire.Batch_answer { shares; _ }) ->
+      if List.length shares <> n then
+        role_err t role (transient "batch answer length mismatch")
+      else Ok shares
+  | Ok (Zltp_wire.Err { code; message; _ }) ->
+      if code = Zltp_wire.err_degraded || code = Zltp_wire.err_internal then
+        role_err t role (transient message)
+      else fatal message
+  | Ok _ -> role_err t role (transient "protocol violation: expected Batch_answer")
+  | Error _ as e -> role_err t role e
+
+let pir_batch_attempt t indexed_keys =
+  match pir_sessions t with
+  | Error _ as e -> e
+  | Ok ((role0, s0), (role1, s1)) -> (
+      let qid = fresh_qid t in
+      let db = (params_exn t).domain_bits in
+      let pairs =
+        List.map (fun (key, index) -> (key, Lw_dpf.Dpf.gen ~domain_bits:db ~alpha:index t.rng))
+          indexed_keys
+      in
+      let batch which =
+        Zltp_wire.Pir_batch
+          { qid; dpf_keys = List.map (fun (_, ks) -> Lw_dpf.Dpf.serialize (which ks)) pairs }
+      in
+      let n = List.length indexed_keys in
+      let sent0 = role_err t role0 (send_msg s0.ep (batch fst)) in
+      let sent1 = role_err t role1 (send_msg s1.ep (batch snd)) in
+      match (sent0, sent1) with
+      | Ok (), Ok () -> (
+          let r0 = expect_batch t role0 n (recv_matching s0.ep ~qid) in
+          let r1 = expect_batch t role1 n (recv_matching s1.ep ~qid) in
+          match (r0, r1) with
+          | Ok shares0, Ok shares1 ->
+              t.queries <- t.queries + n;
+              Ok
+                (List.map2
+                   (fun (key, _) (resp0, resp1) ->
+                     Lw_pir.Record.decode_for_key ~key (Lw_pir.Client.combine ~resp0 ~resp1))
+                   pairs
+                   (List.combine shares0 shares1))
+          | _ -> first_error [ r0; r1 ])
+      | _ -> first_error [ sent0; sent1 ])
 
 let get_batch t keys =
-  match t.mode with
+  match (params_exn t).mode with
   | Zltp_mode.Enclave ->
       (* no server-side batch primitive needed: polylog per-op cost *)
       let rec go acc = function
@@ -136,56 +462,25 @@ let get_batch t keys =
         | k :: rest -> ( match get t k with Ok v -> go (v :: acc) rest | Error e -> Error e)
       in
       go [] keys
-  | Zltp_mode.Pir2 -> (
-      match t.sessions with
-      | [ s0; s1 ] -> (
-          let keymap = Option.get t.keymap in
-          let queries =
-            List.map
-              (fun key ->
-                let index = Lw_pir.Keymap.index_of_key keymap key in
-                let k0, k1 = Lw_dpf.Dpf.gen ~domain_bits:t.domain_bits ~alpha:index t.rng in
-                (key, k0, k1))
-              keys
-          in
-          let batch which =
-            Zltp_wire.Pir_batch
-              {
-                dpf_keys =
-                  List.map (fun (_, k0, k1) -> Lw_dpf.Dpf.serialize (which k0 k1)) queries;
-              }
-          in
-          let expect_batch = function
-            | Ok (Zltp_wire.Batch_answer { shares }) -> Ok shares
-            | Ok (Zltp_wire.Err { message; _ }) -> Error message
-            | Ok _ -> Error "protocol violation: expected Batch_answer"
-            | Error e -> Error e
-          in
-          match
-            ( expect_batch (roundtrip s0.ep (batch (fun a _ -> a))),
-              expect_batch (roundtrip s1.ep (batch (fun _ b -> b))) )
-          with
-          | Ok shares0, Ok shares1 ->
-              if List.length shares0 <> List.length keys || List.length shares1 <> List.length keys
-              then Error "batch answer length mismatch"
-              else begin
-                t.queries <- t.queries + List.length keys;
-                let values =
-                  List.map2
-                    (fun (key, _, _) (r0, r1) ->
-                      Lw_pir.Record.decode_for_key ~key (Lw_pir.Client.combine ~resp0:r0 ~resp1:r1))
-                    queries
-                    (List.combine shares0 shares1)
-                in
-                Ok values
-              end
-          | Error e, _ | _, Error e -> Error e)
-      | _ -> Error "not a PIR session")
+  | Zltp_mode.Pir2 ->
+      let keymap = Option.get t.keymap in
+      let indexed = List.map (fun k -> (k, Lw_pir.Keymap.index_of_key keymap k)) keys in
+      with_retry t (fun () -> pir_batch_attempt t indexed)
 
 let close t =
-  List.iter
-    (fun s ->
-      (try s.ep.Lw_net.Endpoint.send (Zltp_wire.encode_client Zltp_wire.Bye)
-       with Lw_net.Endpoint.Closed -> ());
-      s.ep.Lw_net.Endpoint.close ())
-    t.sessions
+  Array.iter
+    (fun role ->
+      (match role.session with
+      | Some s ->
+          (try s.ep.Lw_net.Endpoint.send (Zltp_wire.encode_client Zltp_wire.Bye)
+           with Lw_net.Endpoint.Closed | Lw_net.Endpoint.Timeout -> ());
+          s.ep.Lw_net.Endpoint.close ()
+      | None -> ());
+      role.session <- None)
+    t.roles
+
+let current_replicas t =
+  Array.to_list
+    (Array.map
+       (fun role -> match role.session with Some s -> Some s.replica_name | None -> None)
+       t.roles)

@@ -1,4 +1,4 @@
-(** The ZLTP client session (§2, §3.2).
+(** The ZLTP client session (§2, §3.2), with self-healing.
 
     In PIR mode the client holds connections to the {e two} non-colluding
     logical servers, generates a fresh DPF key pair per private-GET, and
@@ -6,35 +6,108 @@
     carries the request key (inside the simulated attested channel).
 
     Either way the application-facing operation is the paper's single
-    primitive: [GET(key) -> value]. *)
+    primitive: [GET(key) -> value] — now with the failure handling a real
+    deployment needs. Every operation runs under a {!policy}: a bounded
+    number of attempts with jittered exponential backoff under an overall
+    deadline. Each logical server {e role} can be backed by several
+    replicas; when a connection fails (timeout, close, corrupted reply,
+    degraded backend) the client tears it down and fails over to the
+    role's next replica, probing it with the cheap [Health] message before
+    the handshake.
+
+    {b Privacy of retries.} A retried private-GET never reuses DPF keys:
+    every attempt generates a fresh key pair (and a fresh correlation id),
+    and both queries of an attempt are sent before either reply is
+    awaited. A server comparing a retry against the original therefore
+    learns nothing about whether the two attempts target the same index —
+    retransmission leaks no more than a brand-new query. Failover itself
+    is {e not} hidden (and cannot protect against the two replicas of one
+    role colluding; see SECURITY.md). *)
 
 type t
+
+(** {2 Retry policy} *)
+
+type policy = {
+  attempts : int;  (** max attempts per operation (>= 1) *)
+  base_backoff_s : float;  (** backoff before the 2nd attempt *)
+  max_backoff_s : float;  (** exponential growth cap *)
+  deadline_s : float;  (** overall per-operation budget *)
+}
+
+val default_policy : policy
+(** 4 attempts, 50 ms base backoff doubling up to 1 s, 30 s deadline. *)
+
+(** {2 Replicas and connection} *)
+
+type replica
+
+val replica : name:string -> (unit -> (Lw_net.Endpoint.t, string) result) -> replica
+(** A dialable replica of one logical server: [dial] is called for the
+    initial connection and again on every failover back to this replica. *)
+
+val of_endpoint : name:string -> Lw_net.Endpoint.t -> replica
+(** A pre-established connection as a one-shot replica: once its
+    connection fails there is nothing to re-dial, so it counts as
+    permanently down. *)
+
+val connect_replicated :
+  ?prefer:Zltp_mode.t list ->
+  ?rng:Lw_crypto.Drbg.t ->
+  ?policy:policy ->
+  ?clock:Lw_net.Clock.t ->
+  replica list list ->
+  (t, string) result
+(** [connect_replicated roles] — one replica list per logical server role
+    (two roles for PIR, one for enclave mode). Dials one replica per role
+    (Health probe, then Hello/Welcome), checks all servers agree on
+    session parameters, and fails over across each role's replicas on
+    later connection failures. [clock] drives backoff sleeps and deadline
+    accounting (virtual clock ⇒ deterministic, instant chaos tests). *)
 
 val connect :
   ?prefer:Zltp_mode.t list ->
   ?rng:Lw_crypto.Drbg.t ->
+  ?policy:policy ->
+  ?clock:Lw_net.Clock.t ->
   Lw_net.Endpoint.t list ->
   (t, string) result
-(** [connect endpoints] performs Hello/Welcome on each endpoint and checks
-    the servers agree on parameters. PIR mode needs exactly two endpoints,
-    enclave mode one; a mismatch is an [Error]. *)
+(** [connect endpoints] — each endpoint becomes a single-replica role
+    ({!of_endpoint}). PIR mode needs exactly two endpoints, enclave mode
+    one; a mismatch is an [Error]. *)
 
 val mode : t -> Zltp_mode.t
 val blob_size : t -> int
 val domain_bits : t -> int
 
+(** {2 Operations} *)
+
 val get : t -> string -> (string option, string) result
 (** [get t key] is the private-GET: [Ok None] when no record exists under
-    [key] (or a hash collision handed back someone else's record). *)
+    [key] (or a hash collision handed back someone else's record).
+    [Error] only after the retry policy is exhausted (or a fatal,
+    non-retryable refusal). *)
 
 val get_raw_index : t -> int -> (string, string) result
 (** PIR mode only: fetch bucket [index] without keyword hashing (cuckoo
     probing and tests use this). *)
 
 val get_batch : t -> string list -> (string option list, string) result
-(** Batched private-GETs (one round trip, server-side fused scan). *)
+(** Batched private-GETs (one round trip, server-side fused scan). A
+    retried batch regenerates {e all} its DPF keys. *)
+
+(** {2 Introspection} *)
 
 val queries_sent : t -> int
 
+val retries : t -> int
+(** Attempts beyond the first, summed over all operations. *)
+
+val failovers : t -> int
+(** Times a role's preferred replica was abandoned for the next one. *)
+
+val current_replicas : t -> string option list
+(** Per role, the name of the replica currently connected (if any). *)
+
 val close : t -> unit
-(** Sends [Bye] best-effort and closes the endpoints. *)
+(** Sends [Bye] best-effort and closes all live connections. *)

@@ -3,6 +3,7 @@ type t = {
   shard_bits : int;
   bucket_size : int;
   shards : Lw_pir.Server.t array;
+  down : bool array;
 }
 
 let create ~domain_bits ~shard_bits ~bucket_size =
@@ -13,7 +14,7 @@ let create ~domain_bits ~shard_bits ~bucket_size =
     Array.init (1 lsl shard_bits) (fun _ ->
         Lw_pir.Server.create (Lw_pir.Bucket_db.create ~domain_bits:rem ~bucket_size))
   in
-  { domain_bits; shard_bits; bucket_size; shards }
+  { domain_bits; shard_bits; bucket_size; shards; down = Array.make (1 lsl shard_bits) false }
 
 let of_db db ~shard_bits =
   let domain_bits = Lw_pir.Bucket_db.domain_bits db in
@@ -31,6 +32,29 @@ let domain_bits t = t.domain_bits
 let shard_bits t = t.shard_bits
 let shard_count t = Array.length t.shards
 let bucket_size t = t.bucket_size
+
+let set_shard_down t i down =
+  if i < 0 || i >= Array.length t.shards then invalid_arg "Zltp_frontend.set_shard_down";
+  t.down.(i) <- down
+
+let shard_down t i = t.down.(i)
+
+let shards_down t =
+  Array.fold_left (fun n d -> if d then n + 1 else n) 0 t.down
+
+(* An answer share is the XOR over every shard's contribution, so a single
+   unreachable shard makes the whole share wrong — the only safe reaction
+   is a structured refusal the client can act on (fail over), never a
+   partial XOR. *)
+let check_down t =
+  if shards_down t = 0 then Ok ()
+  else begin
+    let downs = ref [] in
+    Array.iteri (fun i d -> if d then downs := i :: !downs) t.down;
+    Error
+      (Printf.sprintf "shards down: %s"
+         (String.concat "," (List.rev_map string_of_int !downs)))
+  end
 
 let route t global =
   if global < 0 || global >= 1 lsl t.domain_bits then
@@ -63,6 +87,9 @@ let answer t k =
   let subs = Lw_dpf.Distributed.split k ~shard_bits:t.shard_bits in
   combine_shares t (Array.mapi (fun i sub -> Lw_pir.Server.answer t.shards.(i) sub) subs)
 
+let answer_result t k =
+  match check_down t with Error _ as e -> e | Ok () -> Ok (answer t k)
+
 (* Batched private-GET across the shard fleet: split every query's key
    once, then hand each shard the whole batch of its sub-keys so it runs
    the bit-packed scan kernel ([Lw_pir.Server.answer_batch]) — one
@@ -82,6 +109,9 @@ let answer_batch t keys =
     in
     Array.init n (fun q -> combine_shares t (Array.map (fun shares -> shares.(q)) by_shard))
   end
+
+let answer_batch_result t keys =
+  match check_down t with Error _ as e -> e | Ok () -> Ok (answer_batch t keys)
 
 type shard_timing = { shard : int; eval_s : float; scan_s : float }
 

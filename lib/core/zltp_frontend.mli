@@ -24,6 +24,30 @@ val set_bucket : t -> int -> string -> unit
 
 val get_bucket : t -> int -> string
 
+(** {2 Shard health}
+
+    An answer share is the XOR over {e every} shard's contribution, so a
+    single unreachable shard makes the whole share silently wrong. The
+    front-end therefore tracks per-shard availability and the
+    [_result] answer paths refuse — with a structured error naming the
+    down shards — rather than return a partial XOR. *)
+
+val set_shard_down : t -> int -> bool -> unit
+(** Mark shard [i] unreachable (or back up). Used operationally and by the
+    chaos harness to inject backend degradation. *)
+
+val shard_down : t -> int -> bool
+
+val shards_down : t -> int
+(** Number of shards currently marked down. *)
+
+val answer_result : t -> Lw_dpf.Dpf.key -> (string, string) result
+(** Like {!answer} but refuses with [Error] naming the down shards when
+    any shard is unavailable. *)
+
+val answer_batch_result :
+  t -> Lw_dpf.Dpf.key array -> (string array, string) result
+
 val answer : t -> Lw_dpf.Dpf.key -> string
 (** Full private-GET answer share for a full-domain DPF key. *)
 

@@ -36,16 +36,24 @@ let domain_bits t =
   | Pir_sharded fe -> Zltp_frontend.domain_bits fe
   | Enclave_backend _ -> 0
 
+let health t =
+  match t.backend with
+  | Pir_flat _ | Enclave_backend _ -> (1, 0)
+  | Pir_sharded fe -> (Zltp_frontend.shard_count fe, Zltp_frontend.shards_down fe)
+
 type conn = { server : t; mutable mode : Zltp_mode.t option }
 
 let conn server = { server; mode = None }
 
-let err code message = Some (Zltp_wire.Err { code; message })
+let err ?(qid = 0) code message = Some (Zltp_wire.Err { qid; code; message })
 
 let deserialize_key t dpf_key =
   match Lw_dpf.Dpf.deserialize dpf_key with
-  | Error e -> Error (Printf.sprintf "bad DPF key: %s" e)
-  | Ok k -> if Lw_dpf.Dpf.domain_bits k <> domain_bits t then Error "domain mismatch" else Ok k
+  | Error e -> Error (Zltp_wire.err_bad_request, Printf.sprintf "bad DPF key: %s" e)
+  | Ok k ->
+      if Lw_dpf.Dpf.domain_bits k <> domain_bits t then
+        Error (Zltp_wire.err_bad_request, "domain mismatch")
+      else Ok k
 
 let answer_pir t dpf_key =
   match deserialize_key t dpf_key with
@@ -53,8 +61,11 @@ let answer_pir t dpf_key =
   | Ok k -> (
       match t.backend with
       | Pir_flat s -> Ok (Lw_pir.Server.answer s k)
-      | Pir_sharded fe -> Ok (Zltp_frontend.answer fe k)
-      | Enclave_backend _ -> Error "wrong mode")
+      | Pir_sharded fe -> (
+          match Zltp_frontend.answer_result fe k with
+          | Ok share -> Ok share
+          | Error e -> Error (Zltp_wire.err_degraded, e))
+      | Enclave_backend _ -> Error (Zltp_wire.err_wrong_mode, "wrong mode"))
 
 (* A batch deserialises and validates every key before any evaluation, so
    a malformed key rejects the whole request rather than wasting a
@@ -74,13 +85,21 @@ let answer_pir_batch t dpf_keys =
   | Ok keys -> (
       match t.backend with
       | Pir_flat s -> Ok (Array.to_list (Lw_pir.Server.answer_batch s keys))
-      | Pir_sharded fe -> Ok (Array.to_list (Zltp_frontend.answer_batch fe keys))
-      | Enclave_backend _ -> Error "wrong mode")
+      | Pir_sharded fe -> (
+          match Zltp_frontend.answer_batch_result fe keys with
+          | Ok shares -> Ok (Array.to_list shares)
+          | Error e -> Error (Zltp_wire.err_degraded, e))
+      | Enclave_backend _ -> Error (Zltp_wire.err_wrong_mode, "wrong mode"))
 
 let handle c msg =
   let t = c.server in
   match msg with
   | Zltp_wire.Bye -> None
+  | Zltp_wire.Health { qid } ->
+      (* liveness probe: answerable before Hello, so a failing-over client
+         can cheaply rank replicas without a full handshake *)
+      let shards_total, shards_down = health t in
+      Some (Zltp_wire.Health_reply { qid; shards_total; shards_down })
   | Zltp_wire.Hello { version; modes = client_modes } ->
       if version <> Zltp_wire.protocol_version then
         err Zltp_wire.err_bad_request "unsupported protocol version"
@@ -103,10 +122,10 @@ let handle c msg =
                    server_id = t.server_id;
                  })
       end
-  | Zltp_wire.Pir_query { dpf_key } -> (
+  | Zltp_wire.Pir_query { qid; dpf_key } -> (
       match c.mode with
-      | None -> err Zltp_wire.err_not_negotiated "hello first"
-      | Some Zltp_mode.Enclave -> err Zltp_wire.err_wrong_mode "session is in enclave mode"
+      | None -> err ~qid Zltp_wire.err_not_negotiated "hello first"
+      | Some Zltp_mode.Enclave -> err ~qid Zltp_wire.err_wrong_mode "session is in enclave mode"
       | Some Zltp_mode.Pir2 -> (
           match answer_pir t dpf_key with
           | Ok share ->
@@ -114,51 +133,71 @@ let handle c msg =
               (* note: nothing about the query is loggable beyond its
                  existence — the server never has the request key *)
               Log.debug (fun m -> m "%s: private-GET #%d answered" t.server_id t.queries);
-              Some (Zltp_wire.Answer { share })
-          | Error e ->
+              Some (Zltp_wire.Answer { qid; share })
+          | Error (code, e) ->
               Log.info (fun m -> m "%s: rejected query: %s" t.server_id e);
-              err Zltp_wire.err_bad_request e))
-  | Zltp_wire.Pir_batch { dpf_keys } -> (
+              err ~qid code e))
+  | Zltp_wire.Pir_batch { qid; dpf_keys } -> (
       match c.mode with
-      | None -> err Zltp_wire.err_not_negotiated "hello first"
-      | Some Zltp_mode.Enclave -> err Zltp_wire.err_wrong_mode "session is in enclave mode"
+      | None -> err ~qid Zltp_wire.err_not_negotiated "hello first"
+      | Some Zltp_mode.Enclave -> err ~qid Zltp_wire.err_wrong_mode "session is in enclave mode"
       | Some Zltp_mode.Pir2 -> (
           match answer_pir_batch t dpf_keys with
           | Ok shares ->
               t.queries <- t.queries + List.length shares;
               Log.debug (fun m ->
                   m "%s: private-GET batch of %d answered" t.server_id (List.length shares));
-              Some (Zltp_wire.Batch_answer { shares })
-          | Error e ->
+              Some (Zltp_wire.Batch_answer { qid; shares })
+          | Error (code, e) ->
               Log.info (fun m -> m "%s: rejected batch: %s" t.server_id e);
-              err Zltp_wire.err_bad_request e))
-  | Zltp_wire.Enclave_get { key } -> (
+              err ~qid code e))
+  | Zltp_wire.Enclave_get { qid; key } -> (
       match c.mode with
-      | None -> err Zltp_wire.err_not_negotiated "hello first"
-      | Some Zltp_mode.Pir2 -> err Zltp_wire.err_wrong_mode "session is in PIR mode"
+      | None -> err ~qid Zltp_wire.err_not_negotiated "hello first"
+      | Some Zltp_mode.Pir2 -> err ~qid Zltp_wire.err_wrong_mode "session is in PIR mode"
       | Some Zltp_mode.Enclave -> (
           match t.backend with
           | Enclave_backend e ->
               t.queries <- t.queries + 1;
-              Some (Zltp_wire.Enclave_answer { value = Lw_oram.Enclave.get e key })
-          | Pir_flat _ | Pir_sharded _ -> err Zltp_wire.err_internal "backend/mode mismatch"))
+              Some (Zltp_wire.Enclave_answer { qid; value = Lw_oram.Enclave.get e key })
+          | Pir_flat _ | Pir_sharded _ -> err ~qid Zltp_wire.err_internal "backend/mode mismatch"))
 
+(* The request path must never let an exception escape and tear the whole
+   connection (or, under a shared-process server, the process) down: any
+   unexpected raise becomes a structured [Err] and the session survives.
+   [Invalid_argument]/[Failure] from deep in a backend are internal bugs
+   surfaced as err_internal, not protocol violations by the client. *)
 let handle_frame c frame =
   match Zltp_wire.decode_client frame with
-  | Error e -> Some (Zltp_wire.encode_server (Zltp_wire.Err { code = Zltp_wire.err_bad_request; message = e }))
-  | Ok msg -> Option.map Zltp_wire.encode_server (handle c msg)
+  | Error e ->
+      Some
+        (Zltp_wire.encode_server
+           (Zltp_wire.Err { qid = 0; code = Zltp_wire.err_bad_request; message = e }))
+  | Ok msg -> (
+      let qid = Option.value (Zltp_wire.request_qid msg) ~default:0 in
+      match handle c msg with
+      | reply -> Option.map Zltp_wire.encode_server reply
+      | exception exn ->
+          let e = Printexc.to_string exn in
+          Log.err (fun m -> m "%s: request failed internally: %s" c.server.server_id e);
+          Some
+            (Zltp_wire.encode_server
+               (Zltp_wire.Err { qid; code = Zltp_wire.err_internal; message = "internal error" })))
 
 let serve t ep =
   let c = conn t in
   let rec loop () =
-    match ep.Lw_net.Endpoint.recv () with
+    (* serving loop: blocking on the next request frame is the one place a
+       server-side unbounded wait is the correct behaviour *)
+    match ep.Lw_net.Endpoint.recv () (* lw-lint: allow unbounded-wait *) with
     | frame -> (
         match handle_frame c frame with
-        | Some reply ->
-            ep.Lw_net.Endpoint.send reply;
-            loop ()
+        | Some reply -> (
+            match ep.Lw_net.Endpoint.send reply with
+            | () -> loop ()
+            | exception Lw_net.Endpoint.Closed -> ())
         | None -> ())
-    | exception Lw_net.Endpoint.Closed -> ()
+    | exception (Lw_net.Endpoint.Closed | Lw_net.Endpoint.Timeout) -> ()
   in
   loop ()
 
@@ -167,4 +206,7 @@ let endpoint t =
   Lw_net.Endpoint.loopback (fun frame ->
       match handle_frame c frame with
       | Some reply -> reply
-      | None -> Zltp_wire.encode_server (Zltp_wire.Err { code = Zltp_wire.err_bad_request; message = "connection closed" }))
+      | None ->
+          Zltp_wire.encode_server
+            (Zltp_wire.Err
+               { qid = 0; code = Zltp_wire.err_bad_request; message = "connection closed" }))

@@ -22,6 +22,10 @@ val blob_size : t -> int
 val modes : t -> Zltp_mode.t list
 val queries_served : t -> int
 
+val health : t -> int * int
+(** [(shards_total, shards_down)] — what a [Health] probe reports. A flat
+    or enclave backend counts as a single always-up shard. *)
+
 (** {2 Per-connection protocol state} *)
 
 type conn
@@ -30,14 +34,17 @@ val conn : t -> conn
 
 val handle : conn -> Zltp_wire.client_msg -> Zltp_wire.server_msg option
 (** State-machine step; [None] for [Bye]. Queries before a successful
-    [Hello] yield [Err]s. *)
+    [Hello] yield [Err]s; [Health] is answered even before [Hello]. *)
 
 val handle_frame : conn -> string -> string option
-(** Decode, {!handle}, encode. Undecodable input yields an encoded [Err]. *)
+(** Decode, {!handle}, encode. Undecodable input yields an encoded [Err];
+    an exception escaping the handler yields [Err] with [err_internal] and
+    the connection survives — the request path never raises. *)
 
 val serve : t -> Lw_net.Endpoint.t -> unit
 (** Run a connection to completion over an endpoint (used by the TCP
-    binary and the pipe-based integration tests). *)
+    binary and the pipe-based integration tests). Returns cleanly on
+    [Endpoint.Closed] or [Endpoint.Timeout]. *)
 
 val endpoint : t -> Lw_net.Endpoint.t
 (** In-process connection: a fresh client-side endpoint served by this

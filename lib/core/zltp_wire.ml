@@ -1,8 +1,9 @@
 type client_msg =
   | Hello of { version : int; modes : Zltp_mode.t list }
-  | Pir_query of { dpf_key : string }
-  | Pir_batch of { dpf_keys : string list }
-  | Enclave_get of { key : string }
+  | Pir_query of { qid : int; dpf_key : string }
+  | Pir_batch of { qid : int; dpf_keys : string list }
+  | Enclave_get of { qid : int; key : string }
+  | Health of { qid : int }
   | Bye
 
 type server_msg =
@@ -14,16 +15,32 @@ type server_msg =
       hash_key : string;
       server_id : string;
     }
-  | Answer of { share : string }
-  | Batch_answer of { shares : string list }
-  | Enclave_answer of { value : string option }
-  | Err of { code : int; message : string }
+  | Answer of { qid : int; share : string }
+  | Batch_answer of { qid : int; shares : string list }
+  | Enclave_answer of { qid : int; value : string option }
+  | Health_reply of { qid : int; shards_total : int; shards_down : int }
+  | Err of { qid : int; code : int; message : string }
 
-let protocol_version = 1
+let protocol_version = 2
 let err_not_negotiated = 1
 let err_bad_request = 2
 let err_wrong_mode = 3
 let err_internal = 4
+let err_degraded = 5
+
+(* The correlation id of a reply, when it carries one. [Welcome] does not
+   (the handshake is strictly alternating); an [Err] about something other
+   than a specific query uses qid 0. *)
+let reply_qid = function
+  | Welcome _ -> None
+  | Answer { qid; _ } | Batch_answer { qid; _ } | Enclave_answer { qid; _ }
+  | Health_reply { qid; _ } | Err { qid; _ } ->
+      Some qid
+
+let request_qid = function
+  | Hello _ | Bye -> None
+  | Pir_query { qid; _ } | Pir_batch { qid; _ } | Enclave_get { qid; _ } | Health { qid } ->
+      Some qid
 
 (* ---- primitive writers/readers: tag byte, u8, u32-be, length-prefixed
    strings and lists ---- *)
@@ -53,9 +70,9 @@ let u8 r =
 
 let u32 r =
   need r 4;
-  let v = Int32.to_int (String.get_int32_be r.src r.pos) in
+  (* unsigned: a qid legitimately uses the full 32-bit range *)
+  let v = Int32.to_int (String.get_int32_be r.src r.pos) land 0xFFFFFFFF in
   r.pos <- r.pos + 4;
-  if v < 0 then raise (Decode "negative length");
   v
 
 let str r =
@@ -74,7 +91,32 @@ let finish r v =
   if r.pos <> String.length r.src then raise (Decode "trailing bytes");
   v
 
-let run_decoder f s = try Ok (f { src = s; pos = 0 }) with Decode e -> Error e
+(* Every encoded message carries a 4-byte CRC-32 trailer over its body —
+   the stand-in for the record MAC of the TLS channel ZLTP rides in. It
+   is what turns a corrupted-in-flight message into a structured decode
+   [Error] (→ client retry) instead of silently wrong reassembled bytes:
+   CRC-32 detects every single-bit flip deterministically. *)
+let trailer_size = 4
+
+let seal body =
+  let n = String.length body in
+  let b = Bytes.create (n + trailer_size) in
+  Bytes.blit_string body 0 b 0 n;
+  Bytes.set_int32_be b n (Lw_util.Crc32.digest body);
+  Bytes.unsafe_to_string b
+
+let unseal s =
+  let n = String.length s - trailer_size in
+  if n < 0 then raise (Decode "message shorter than integrity trailer");
+  if not (Int32.equal (String.get_int32_be s n) (Lw_util.Crc32.update 0l s ~pos:0 ~len:n)) then
+    raise (Decode "integrity check failed");
+  n
+
+let run_decoder f s =
+  try
+    let body_len = unseal s in
+    Ok (f { src = String.sub s 0 body_len; pos = 0 })
+  with Decode e -> Error e
 
 (* ---- client messages ---- *)
 
@@ -85,17 +127,23 @@ let encode_client msg =
       add_u8 buf 1;
       add_u8 buf version;
       add_list buf modes (fun b m -> add_u8 b (Zltp_mode.to_tag m))
-  | Pir_query { dpf_key } ->
+  | Pir_query { qid; dpf_key } ->
       add_u8 buf 2;
+      add_u32 buf qid;
       add_str buf dpf_key
-  | Pir_batch { dpf_keys } ->
+  | Pir_batch { qid; dpf_keys } ->
       add_u8 buf 3;
+      add_u32 buf qid;
       add_list buf dpf_keys add_str
-  | Enclave_get { key } ->
+  | Enclave_get { qid; key } ->
       add_u8 buf 4;
+      add_u32 buf qid;
       add_str buf key
-  | Bye -> add_u8 buf 5);
-  Buffer.contents buf
+  | Bye -> add_u8 buf 5
+  | Health { qid } ->
+      add_u8 buf 6;
+      add_u32 buf qid);
+  seal (Buffer.contents buf)
 
 let mode_of_tag r =
   match Zltp_mode.of_tag (u8 r) with
@@ -110,10 +158,17 @@ let decode_client s =
           let version = u8 r in
           let modes = list r mode_of_tag in
           finish r (Hello { version; modes })
-      | 2 -> finish r (Pir_query { dpf_key = str r })
-      | 3 -> finish r (Pir_batch { dpf_keys = list r str })
-      | 4 -> finish r (Enclave_get { key = str r })
+      | 2 ->
+          let qid = u32 r in
+          finish r (Pir_query { qid; dpf_key = str r })
+      | 3 ->
+          let qid = u32 r in
+          finish r (Pir_batch { qid; dpf_keys = list r str })
+      | 4 ->
+          let qid = u32 r in
+          finish r (Enclave_get { qid; key = str r })
       | 5 -> finish r Bye
+      | 6 -> finish r (Health { qid = u32 r })
       | t -> raise (Decode (Printf.sprintf "unknown client tag %d" t)))
     s
 
@@ -130,24 +185,33 @@ let encode_server msg =
       add_u32 buf blob_size;
       add_str buf hash_key;
       add_str buf server_id
-  | Answer { share } ->
+  | Answer { qid; share } ->
       add_u8 buf 2;
+      add_u32 buf qid;
       add_str buf share
-  | Batch_answer { shares } ->
+  | Batch_answer { qid; shares } ->
       add_u8 buf 3;
+      add_u32 buf qid;
       add_list buf shares add_str
-  | Enclave_answer { value } -> (
+  | Enclave_answer { qid; value } -> (
       add_u8 buf 4;
+      add_u32 buf qid;
       match value with
       | None -> add_u8 buf 0
       | Some v ->
           add_u8 buf 1;
           add_str buf v)
-  | Err { code; message } ->
+  | Err { qid; code; message } ->
       add_u8 buf 5;
+      add_u32 buf qid;
       add_u8 buf code;
-      add_str buf message);
-  Buffer.contents buf
+      add_str buf message
+  | Health_reply { qid; shards_total; shards_down } ->
+      add_u8 buf 6;
+      add_u32 buf qid;
+      add_u32 buf shards_total;
+      add_u32 buf shards_down);
+  seal (Buffer.contents buf)
 
 let decode_server s =
   run_decoder
@@ -161,16 +225,27 @@ let decode_server s =
           let hash_key = str r in
           let server_id = str r in
           finish r (Welcome { version; mode; domain_bits; blob_size; hash_key; server_id })
-      | 2 -> finish r (Answer { share = str r })
-      | 3 -> finish r (Batch_answer { shares = list r str })
+      | 2 ->
+          let qid = u32 r in
+          finish r (Answer { qid; share = str r })
+      | 3 ->
+          let qid = u32 r in
+          finish r (Batch_answer { qid; shares = list r str })
       | 4 -> (
+          let qid = u32 r in
           match u8 r with
-          | 0 -> finish r (Enclave_answer { value = None })
-          | 1 -> finish r (Enclave_answer { value = Some (str r) })
+          | 0 -> finish r (Enclave_answer { qid; value = None })
+          | 1 -> finish r (Enclave_answer { qid; value = Some (str r) })
           | _ -> raise (Decode "bad option tag"))
       | 5 ->
+          let qid = u32 r in
           let code = u8 r in
           let message = str r in
-          finish r (Err { code; message })
+          finish r (Err { qid; code; message })
+      | 6 ->
+          let qid = u32 r in
+          let shards_total = u32 r in
+          let shards_down = u32 r in
+          finish r (Health_reply { qid; shards_total; shards_down })
       | t -> raise (Decode (Printf.sprintf "unknown server tag %d" t)))
     s

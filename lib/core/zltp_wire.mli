@@ -5,13 +5,23 @@
     carry a serialised DPF key share; enclave-mode queries carry the
     request key itself, which in a real deployment travels inside the
     attested TLS channel that terminates {e inside} the enclave — the
-    untrusted host never sees it. *)
+    untrusted host never sees it.
+
+    Since protocol version 2 every query carries a correlation id [qid]
+    echoed by its reply. The id is public session metadata (never derived
+    from the request key) and is what makes recovery safe on a flaky
+    network: a client that timed out and retried can discard the late or
+    duplicated reply of an earlier attempt instead of silently XOR-ing
+    mismatched shares into a wrong value. [Health] is a cheap liveness and
+    degradation probe — valid even before [Hello] — used by clients to
+    pick a healthy replica when failing over. *)
 
 type client_msg =
   | Hello of { version : int; modes : Zltp_mode.t list }
-  | Pir_query of { dpf_key : string }
-  | Pir_batch of { dpf_keys : string list }
-  | Enclave_get of { key : string }
+  | Pir_query of { qid : int; dpf_key : string }
+  | Pir_batch of { qid : int; dpf_keys : string list }
+  | Enclave_get of { qid : int; key : string }
+  | Health of { qid : int }
   | Bye
 
 type server_msg =
@@ -23,12 +33,19 @@ type server_msg =
       hash_key : string; (** keyword→index SipHash key (public) *)
       server_id : string;
     }
-  | Answer of { share : string }
-  | Batch_answer of { shares : string list }
-  | Enclave_answer of { value : string option }
-  | Err of { code : int; message : string }
+  | Answer of { qid : int; share : string }
+  | Batch_answer of { qid : int; shares : string list }
+  | Enclave_answer of { qid : int; value : string option }
+  | Health_reply of { qid : int; shards_total : int; shards_down : int }
+  | Err of { qid : int; code : int; message : string }
+      (** [qid] 0 when the error is not about a specific query *)
 
 val protocol_version : int
+
+val reply_qid : server_msg -> int option
+(** The correlation id a reply carries; [None] for [Welcome]. *)
+
+val request_qid : client_msg -> int option
 
 (** Error codes carried by [Err]. *)
 
@@ -36,6 +53,16 @@ val err_not_negotiated : int
 val err_bad_request : int
 val err_wrong_mode : int
 val err_internal : int
+
+val err_degraded : int
+(** The backend is partially down (e.g. a data shard unreachable) and the
+    answer would be wrong; the client should fail over to a replica. *)
+
+val trailer_size : int
+(** Every encoded message ends in a [trailer_size]-byte CRC-32 over its
+    body — a stand-in for the record MAC of the TLS channel ZLTP rides in.
+    Decoding rejects a failed check as a structured error, so in-flight
+    corruption becomes a clean retry, never silently wrong bytes. *)
 
 val encode_client : client_msg -> string
 val decode_client : string -> (client_msg, string) result

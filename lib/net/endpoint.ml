@@ -1,6 +1,7 @@
 type t = { send : string -> unit; recv : unit -> string; close : unit -> unit }
 
 exception Closed
+exception Timeout
 
 (* Thread-safe unbounded message queue; [None] marks closure. *)
 module Mailbox = struct

@@ -13,6 +13,14 @@ type t = {
 
 exception Closed
 
+exception Timeout
+(** Raised by [recv] when a receive deadline expires before a message
+    arrives: by {!Tcp} endpoints configured with a receive timeout, and by
+    {!Faulty} wrappers when an injected fault swallows the message a
+    request/response peer is waiting for. The connection should be
+    considered out of sync afterwards — self-healing clients close it and
+    re-dial. *)
+
 val pipe : unit -> t * t
 (** [pipe ()] is a thread-safe in-memory duplex: messages sent on one end
     arrive at the other, in order. *)

@@ -1,0 +1,184 @@
+type fault =
+  | Drop
+  | Duplicate
+  | Delay of float
+  | Truncate of int
+  | Corrupt of int
+  | Stall_close
+  | Close_now
+
+let fault_name = function
+  | Drop -> "drop"
+  | Duplicate -> "duplicate"
+  | Delay _ -> "delay"
+  | Truncate _ -> "truncate"
+  | Corrupt _ -> "corrupt"
+  | Stall_close -> "stall-close"
+  | Close_now -> "close"
+
+type direction = Send | Recv
+
+type schedule = direction -> int -> fault option
+
+let none : schedule = fun _ _ -> None
+
+let of_plan ?(send = []) ?(recv = []) () : schedule =
+ fun dir i -> List.assoc_opt i (match dir with Send -> send | Recv -> recv)
+
+(* Stateless derivation: the fault for message [i] in direction [dir] is a
+   pure function of (seed, dir, i), so replaying a schedule — or asking it
+   twice — always yields the same answer. *)
+let bernoulli ~seed ~rate : schedule =
+  if rate < 0. || rate > 1. then invalid_arg "Faulty.bernoulli: rate must be in [0,1]";
+  fun dir i ->
+    let tag = match dir with Send -> 's' | Recv -> 'r' in
+    let r = Lw_util.Det_rng.of_string_seed (Printf.sprintf "%s/%c%d" seed tag i) in
+    if Lw_util.Det_rng.float r 1.0 >= rate then None
+    else
+      Some
+        (match Lw_util.Det_rng.int r 7 with
+        | 0 -> Drop
+        | 1 -> Duplicate
+        | 2 -> Delay (0.001 +. Lw_util.Det_rng.float r 0.2)
+        | 3 -> Truncate (Lw_util.Det_rng.int r 64)
+        | 4 -> Corrupt (Lw_util.Det_rng.int r 4096)
+        | 5 -> Stall_close
+        | _ -> Close_now)
+
+type counters = {
+  mutable passed : int;
+  mutable drops : int;
+  mutable duplicates : int;
+  mutable delays : int;
+  mutable truncates : int;
+  mutable corrupts : int;
+  mutable stalls : int;
+  mutable closes : int;
+}
+
+let fresh_counters () =
+  {
+    passed = 0;
+    drops = 0;
+    duplicates = 0;
+    delays = 0;
+    truncates = 0;
+    corrupts = 0;
+    stalls = 0;
+    closes = 0;
+  }
+
+let total_faults c =
+  c.drops + c.duplicates + c.delays + c.truncates + c.corrupts + c.stalls + c.closes
+
+let truncate_msg n msg = String.sub msg 0 (min (max 0 n) (String.length msg))
+
+let corrupt_msg off msg =
+  if String.length msg = 0 then msg
+  else begin
+    let b = Bytes.of_string msg in
+    let i = off mod Bytes.length b in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x20));
+    Bytes.unsafe_to_string b
+  end
+
+(* The wrapper assumes the strict request/response discipline every ZLTP
+   endpoint follows (one recv per send, in order), which lets a fault that
+   swallows a message surface deterministically: the recv that would have
+   blocked forever raises [Endpoint.Timeout] instead — a virtual deadline
+   expiry — so no test or bench over a faulty endpoint can ever hang. *)
+let wrap ?(clock = Clock.virtual_ ()) ?counters schedule (ep : Endpoint.t) =
+  let c = match counters with Some c -> c | None -> fresh_counters () in
+  let send_i = ref 0 and recv_i = ref 0 in
+  let lost_replies = ref 0 in
+  (* replies that will never arrive: timeout *)
+  let close_after_stall = ref false in
+  let dup_queue = Queue.create () in
+  let closed = ref false in
+  let do_close () =
+    if not !closed then begin
+      closed := true;
+      ep.Endpoint.close ()
+    end
+  in
+  let send msg =
+    if !closed then raise Endpoint.Closed;
+    let f = schedule Send !send_i in
+    incr send_i;
+    match f with
+    | None ->
+        c.passed <- c.passed + 1;
+        ep.Endpoint.send msg
+    | Some Drop ->
+        c.drops <- c.drops + 1;
+        incr lost_replies
+    | Some Duplicate ->
+        c.duplicates <- c.duplicates + 1;
+        ep.Endpoint.send msg;
+        ep.Endpoint.send msg
+    | Some (Delay d) ->
+        c.delays <- c.delays + 1;
+        Clock.sleep clock d;
+        ep.Endpoint.send msg
+    | Some (Truncate n) ->
+        c.truncates <- c.truncates + 1;
+        ep.Endpoint.send (truncate_msg n msg)
+    | Some (Corrupt off) ->
+        c.corrupts <- c.corrupts + 1;
+        ep.Endpoint.send (corrupt_msg off msg)
+    | Some Stall_close ->
+        c.stalls <- c.stalls + 1;
+        incr lost_replies;
+        close_after_stall := true
+    | Some Close_now ->
+        c.closes <- c.closes + 1;
+        do_close ();
+        raise Endpoint.Closed
+  in
+  let recv () =
+    if !closed then raise Endpoint.Closed;
+    if !lost_replies > 0 then begin
+      decr lost_replies;
+      if !close_after_stall then begin
+        close_after_stall := false;
+        do_close ()
+      end;
+      raise Endpoint.Timeout
+    end
+    else if not (Queue.is_empty dup_queue) then Queue.pop dup_queue
+    else begin
+      let msg = ep.Endpoint.recv () in
+      let f = schedule Recv !recv_i in
+      incr recv_i;
+      match f with
+      | None ->
+          c.passed <- c.passed + 1;
+          msg
+      | Some Drop ->
+          c.drops <- c.drops + 1;
+          raise Endpoint.Timeout
+      | Some Duplicate ->
+          c.duplicates <- c.duplicates + 1;
+          Queue.push msg dup_queue;
+          msg
+      | Some (Delay d) ->
+          c.delays <- c.delays + 1;
+          Clock.sleep clock d;
+          msg
+      | Some (Truncate n) ->
+          c.truncates <- c.truncates + 1;
+          truncate_msg n msg
+      | Some (Corrupt off) ->
+          c.corrupts <- c.corrupts + 1;
+          corrupt_msg off msg
+      | Some Stall_close ->
+          c.stalls <- c.stalls + 1;
+          do_close ();
+          raise Endpoint.Timeout
+      | Some Close_now ->
+          c.closes <- c.closes + 1;
+          do_close ();
+          raise Endpoint.Closed
+    end
+  in
+  ({ Endpoint.send; recv; close = do_close }, c)

@@ -1,0 +1,64 @@
+(** Deterministic fault injection for {!Endpoint}s.
+
+    [wrap] turns any endpoint into a hostile network path driven by a
+    seeded, replayable fault {!schedule}: messages can be dropped,
+    duplicated, delayed, truncated, bit-corrupted, or the connection
+    stalled/closed — the failure classes a CDN-scale deployment (§5) sees
+    daily. Any existing test or bench runs over a hostile network simply by
+    wrapping its endpoints.
+
+    The wrapper assumes the strict request/response pattern all ZLTP
+    traffic follows, which is what makes fault injection hang-free: a
+    fault that swallows a message makes the corresponding [recv] raise
+    {!Endpoint.Timeout} immediately (a virtual deadline expiry) instead of
+    blocking forever. Delays advance the supplied {!Clock} (virtual by
+    default), so chaos runs are fast and bit-for-bit reproducible. *)
+
+type fault =
+  | Drop  (** message vanishes; the awaited reply times out *)
+  | Duplicate  (** message delivered twice *)
+  | Delay of float  (** delivered after [d] clock-seconds *)
+  | Truncate of int  (** only the first [n] bytes survive *)
+  | Corrupt of int  (** one bit flipped at byte [offset mod length] *)
+  | Stall_close  (** peer goes silent, then the connection dies *)
+  | Close_now  (** connection closes in the caller's face *)
+
+val fault_name : fault -> string
+
+type direction = Send | Recv
+
+type schedule = direction -> int -> fault option
+(** [schedule dir i] is the fault (if any) for the [i]-th message (0-based,
+    counted per direction) crossing the wrapper. Must be pure: asking twice
+    must give the same answer. *)
+
+val none : schedule
+
+val of_plan :
+  ?send:(int * fault) list -> ?recv:(int * fault) list -> unit -> schedule
+(** Canned schedule: explicit per-ordinal faults, everything else clean. *)
+
+val bernoulli : seed:string -> rate:float -> schedule
+(** Each message independently faulted with probability [rate], the fault
+    kind drawn uniformly — all derived by pure seeded hashing, so the same
+    seed always replays the same run. *)
+
+type counters = {
+  mutable passed : int;
+  mutable drops : int;
+  mutable duplicates : int;
+  mutable delays : int;
+  mutable truncates : int;
+  mutable corrupts : int;
+  mutable stalls : int;
+  mutable closes : int;
+}
+
+val fresh_counters : unit -> counters
+val total_faults : counters -> int
+
+val wrap :
+  ?clock:Clock.t -> ?counters:counters -> schedule -> Endpoint.t -> Endpoint.t * counters
+(** [wrap schedule ep] interposes the schedule on [ep]. Returns the faulty
+    endpoint and its per-fault counters (the supplied [counters] if given,
+    so several connections can share one tally). *)

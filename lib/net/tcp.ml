@@ -1,7 +1,18 @@
-type server = { sock : Unix.file_descr; port : int; mutable running : bool }
+type server = {
+  sock : Unix.file_descr;
+  port : int;
+  mutable running : bool;
+  mutable conns : Endpoint.t list;
+  lock : Mutex.t;
+}
 
-let endpoint_of_fd fd =
-  let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+(* Frame IO straight over the descriptor (no channels): [Unix.read]
+   surfaces EAGAIN from a SO_RCVTIMEO socket, which is how a receive
+   deadline reaches the caller as [Endpoint.Timeout]. *)
+let endpoint_of_fd ?recv_timeout_s fd =
+  (match recv_timeout_s with
+  | Some t when t > 0. -> Unix.setsockopt_float fd Unix.SO_RCVTIMEO t
+  | _ -> ());
   let closed = ref false in
   let close () =
     if not !closed then begin
@@ -14,15 +25,31 @@ let endpoint_of_fd fd =
     Endpoint.send =
       (fun msg ->
         if !closed then raise Endpoint.Closed;
-        try Frame.write oc msg with Sys_error _ -> raise Endpoint.Closed);
+        try Frame.write_fd fd msg
+        with Unix.Unix_error _ | Sys_error _ -> raise Endpoint.Closed);
     recv =
       (fun () ->
         if !closed then raise Endpoint.Closed;
-        try Frame.read ic with End_of_file | Sys_error _ -> raise Endpoint.Closed);
+        try Frame.read_fd fd with
+        | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            (* the deadline fired mid-frame: the stream cannot resync *)
+            raise Endpoint.Timeout
+        | End_of_file | Frame.Malformed _ | Unix.Unix_error _ | Sys_error _ ->
+            raise Endpoint.Closed);
     close;
   }
 
-let serve ?(backlog = 16) ~host ~port handler =
+let register server ep =
+  Mutex.lock server.lock;
+  server.conns <- ep :: server.conns;
+  Mutex.unlock server.lock
+
+let unregister server ep =
+  Mutex.lock server.lock;
+  server.conns <- List.filter (fun e -> e != ep) server.conns;
+  Mutex.unlock server.lock
+
+let serve ?(backlog = 16) ?recv_timeout_s ~host ~port handler =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
@@ -32,14 +59,18 @@ let serve ?(backlog = 16) ~host ~port handler =
     | Unix.ADDR_INET (_, p) -> p
     | Unix.ADDR_UNIX _ -> assert false
   in
-  let server = { sock; port = actual_port; running = true } in
+  let server =
+    { sock; port = actual_port; running = true; conns = []; lock = Mutex.create () }
+  in
   let accept_loop () =
     while server.running do
       match Unix.accept sock with
       | fd, _peer ->
           let conn_main () =
-            let ep = endpoint_of_fd fd in
+            let ep = endpoint_of_fd ?recv_timeout_s fd in
+            register server ep;
             (try handler ep with _ -> ());
+            unregister server ep;
             ep.Endpoint.close ()
           in
           ignore (Thread.create conn_main ())
@@ -55,10 +86,18 @@ let port s = s.port
 let shutdown s =
   if s.running then begin
     s.running <- false;
-    try Unix.close s.sock with Unix.Unix_error _ -> ()
+    (try Unix.close s.sock with Unix.Unix_error _ -> ());
+    (* also tear down every live per-connection endpoint, so handler
+       threads blocked in recv wake with [Closed] and exit instead of
+       leaking past the server's lifetime *)
+    Mutex.lock s.lock;
+    let conns = s.conns in
+    s.conns <- [];
+    Mutex.unlock s.lock;
+    List.iter (fun ep -> ep.Endpoint.close ()) conns
   end
 
-let connect ~host ~port =
+let connect ?recv_timeout_s ~host ~port () =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-  endpoint_of_fd sock
+  endpoint_of_fd ?recv_timeout_s sock

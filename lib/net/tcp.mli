@@ -5,15 +5,28 @@
 type server
 
 val serve :
-  ?backlog:int -> host:string -> port:int -> (Endpoint.t -> unit) -> server
+  ?backlog:int ->
+  ?recv_timeout_s:float ->
+  host:string ->
+  port:int ->
+  (Endpoint.t -> unit) ->
+  server
 (** [serve ~host ~port handler] binds and starts accepting in a background
     thread; [handler] runs in its own thread per connection and owns the
     endpoint (the socket closes when it returns or raises). Port 0 picks a
-    free port — read it back with {!port}. *)
+    free port — read it back with {!port}. [recv_timeout_s] gives every
+    per-connection endpoint a receive deadline (see {!connect}). *)
 
 val port : server -> int
-val shutdown : server -> unit
-(** Stop accepting and close the listening socket. *)
 
-val connect : host:string -> port:int -> Endpoint.t
-(** Blocking client connection. *)
+val shutdown : server -> unit
+(** Stop accepting, close the listening socket, {e and} close every live
+    per-connection endpoint, so handler threads blocked in [recv] wake
+    with [Endpoint.Closed] and terminate promptly instead of leaking. *)
+
+val connect :
+  ?recv_timeout_s:float -> host:string -> port:int -> unit -> Endpoint.t
+(** Blocking client connection. With [recv_timeout_s] set, [recv] raises
+    {!Endpoint.Timeout} when no complete frame arrives within the deadline
+    (via [SO_RCVTIMEO]); the connection should be abandoned afterwards —
+    a frame may have been half-read. *)

@@ -1,0 +1,28 @@
+(* Standard reflected CRC-32 (IEEE 802.3 polynomial 0xEDB88320), table
+   driven. Not a cryptographic primitive: it guarantees detection of any
+   single-bit error and all short burst errors, which is exactly the
+   failure class an integrity trailer on a simulated lossy link must
+   catch deterministically. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun i ->
+         let c = ref (Int32.of_int i) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let update crc s ~pos ~len =
+  let table = Lazy.force table in
+  let crc = ref (Int32.lognot crc) in
+  for i = pos to pos + len - 1 do
+    let idx = Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code s.[i]))) 0xffl) in
+    crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8)
+  done;
+  Int32.lognot !crc
+
+let digest s = update 0l s ~pos:0 ~len:(String.length s)

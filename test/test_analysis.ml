@@ -155,6 +155,28 @@ let test_rule_server_abort () =
   Alcotest.(check int) "non-server file exempt" 0
     (count_rule "server-abort" (findings_for ~path:"lib/core/universe.ml" bad))
 
+let test_rule_unbounded_wait () =
+  let path = "lib/core/zltp_client.ml" in
+  let bad_sleep = "let backoff () = Unix.sleepf 0.5" in
+  Alcotest.(check int) "bare sleep caught" 1
+    (count_rule "unbounded-wait" (findings_for ~path bad_sleep));
+  let bad_recv = "let pump ep = ep.Lw_net.Endpoint.recv ()" in
+  Alcotest.(check int) "bare recv caught" 1
+    (count_rule "unbounded-wait" (findings_for ~path bad_recv));
+  let good_clock = "let backoff clock = Lw_net.Clock.sleep clock 0.5" in
+  Alcotest.(check int) "Clock.sleep clean" 0
+    (count_rule "unbounded-wait" (findings_for ~path good_clock));
+  (* a local function merely named recv is not an endpoint receive *)
+  let local_recv = "let recv () = 42" in
+  Alcotest.(check int) "local name clean" 0
+    (count_rule "unbounded-wait" (findings_for ~path local_recv));
+  (* waiver works, and the rule is scoped to lib/core *)
+  let waived = "let pump ep = ep.Lw_net.Endpoint.recv () (* lw-lint: allow unbounded-wait *)" in
+  Alcotest.(check int) "waiver honoured" 0
+    (count_rule "unbounded-wait" (findings_for ~path waived));
+  Alcotest.(check int) "out of scope" 0
+    (count_rule "unbounded-wait" (findings_for ~path:"lib/net/wan.ml" bad_recv))
+
 let test_pragma_suppression () =
   (* same-line pragma *)
   let r1 =
@@ -274,6 +296,11 @@ let test_trace_batch_scan () =
   | Ok () -> Alcotest.fail "single batch accepted"
   | Error _ -> ()
 
+let test_trace_retry () =
+  check_ok "retry defaults" (Trace_check.check_retry ());
+  check_ok "retry other geometry"
+    (Trace_check.check_retry ~domain_bits:5 ~bucket_size:48 ~alpha:30 ())
+
 let test_trace_check_all () = check_ok "check_all" (Trace_check.check_all ())
 
 let test_trace_scan_really_answers () =
@@ -313,6 +340,7 @@ let () =
           Alcotest.test_case "nondeterminism" `Quick test_rule_nondeterminism;
           Alcotest.test_case "key-print" `Quick test_rule_key_print;
           Alcotest.test_case "server-abort" `Quick test_rule_server_abort;
+          Alcotest.test_case "unbounded-wait" `Quick test_rule_unbounded_wait;
           Alcotest.test_case "pragma suppression" `Quick test_pragma_suppression;
           Alcotest.test_case "old Ct.select caught" `Quick test_old_ct_select_is_caught;
         ] );
@@ -325,6 +353,7 @@ let () =
           Alcotest.test_case "enclave traces" `Quick test_trace_enclave;
           Alcotest.test_case "bucket scan traces" `Quick test_trace_bucket_scan;
           Alcotest.test_case "batch scan traces" `Quick test_trace_batch_scan;
+          Alcotest.test_case "retry wire shape" `Quick test_trace_retry;
           Alcotest.test_case "check_all" `Quick test_trace_check_all;
           Alcotest.test_case "masked scan answers" `Quick test_trace_scan_really_answers;
         ] );

@@ -140,7 +140,7 @@ let test_enclave_zltp_through_secure_channel_over_tcp () =
         | Ok secured -> Zltp_server.serve enclave_server secured
         | Error _ -> ())
   in
-  let raw = Lw_net.Tcp.connect ~host:"127.0.0.1" ~port:(Lw_net.Tcp.port tcp) in
+  let raw = Lw_net.Tcp.connect ~host:"127.0.0.1" ~port:(Lw_net.Tcp.port tcp) () in
   let secured =
     match
       Lw_net.Secure_channel.client
@@ -194,7 +194,9 @@ let test_server_rejects_mutated_valid_frames () =
       ~domain_bits:Universe.default_geometry.Universe.data_domain_bits
       ~alpha:5 (rng ())
   in
-  let valid = Zltp_wire.encode_client (Zltp_wire.Pir_query { dpf_key = Lw_dpf.Dpf.serialize key }) in
+  let valid =
+    Zltp_wire.encode_client (Zltp_wire.Pir_query { qid = 1; dpf_key = Lw_dpf.Dpf.serialize key })
+  in
   let r = det "mutate" in
   for _ = 1 to 500 do
     let b = Bytes.of_string valid in

@@ -45,9 +45,10 @@ let test_blob_roundtrip () =
 let client_msgs : Zltp_wire.client_msg list =
   [
     Zltp_wire.Hello { version = 1; modes = [ Zltp_mode.Pir2; Zltp_mode.Enclave ] };
-    Zltp_wire.Pir_query { dpf_key = "binary\x00key\xff" };
-    Zltp_wire.Pir_batch { dpf_keys = [ "k1"; ""; "k3" ] };
-    Zltp_wire.Enclave_get { key = "nytimes.com/x" };
+    Zltp_wire.Pir_query { qid = 7; dpf_key = "binary\x00key\xff" };
+    Zltp_wire.Pir_batch { qid = 0xFFFFFFFF; dpf_keys = [ "k1"; ""; "k3" ] };
+    Zltp_wire.Enclave_get { qid = 1; key = "nytimes.com/x" };
+    Zltp_wire.Health { qid = 42 };
     Zltp_wire.Bye;
   ]
 
@@ -62,11 +63,12 @@ let server_msgs : Zltp_wire.server_msg list =
         hash_key = String.make 16 'h';
         server_id = "cdn-a/data-0";
       };
-    Zltp_wire.Answer { share = String.make 100 '\x7f' };
-    Zltp_wire.Batch_answer { shares = [ "a"; "b" ] };
-    Zltp_wire.Enclave_answer { value = None };
-    Zltp_wire.Enclave_answer { value = Some "payload" };
-    Zltp_wire.Err { code = 2; message = "nope" };
+    Zltp_wire.Answer { qid = 7; share = String.make 100 '\x7f' };
+    Zltp_wire.Batch_answer { qid = 3; shares = [ "a"; "b" ] };
+    Zltp_wire.Enclave_answer { qid = 12; value = None };
+    Zltp_wire.Enclave_answer { qid = 13; value = Some "payload" };
+    Zltp_wire.Health_reply { qid = 42; shards_total = 16; shards_down = 3 };
+    Zltp_wire.Err { qid = 0; code = 2; message = "nope" };
   ]
 
 let test_wire_roundtrip () =
@@ -285,7 +287,7 @@ let test_zltp_requires_hello () =
   let u = make_universe () in
   let d0, _ = Universe.data_servers u in
   let c = Zltp_server.conn d0 in
-  match Zltp_server.handle c (Zltp_wire.Pir_query { dpf_key = "xx" }) with
+  match Zltp_server.handle c (Zltp_wire.Pir_query { qid = 9; dpf_key = "xx" }) with
   | Some (Zltp_wire.Err { code; _ }) ->
       Alcotest.(check int) "not negotiated" Zltp_wire.err_not_negotiated code
   | _ -> Alcotest.fail "expected error"
@@ -369,8 +371,8 @@ let test_zltp_over_tcp () =
   let d0, d1 = Universe.data_servers u in
   let srv0 = Lw_net.Tcp.serve ~host:"127.0.0.1" ~port:0 (fun ep -> Zltp_server.serve d0 ep) in
   let srv1 = Lw_net.Tcp.serve ~host:"127.0.0.1" ~port:0 (fun ep -> Zltp_server.serve d1 ep) in
-  let e0 = Lw_net.Tcp.connect ~host:"127.0.0.1" ~port:(Lw_net.Tcp.port srv0) in
-  let e1 = Lw_net.Tcp.connect ~host:"127.0.0.1" ~port:(Lw_net.Tcp.port srv1) in
+  let e0 = Lw_net.Tcp.connect ~host:"127.0.0.1" ~port:(Lw_net.Tcp.port srv0) () in
+  let e1 = Lw_net.Tcp.connect ~host:"127.0.0.1" ~port:(Lw_net.Tcp.port srv1) () in
   let client = Result.get_ok (Zltp_client.connect ~rng:(rng ()) [ e0; e1 ]) in
   (match Zltp_client.get client "news.example/tech/ocaml.json" with
   | Ok (Some v) ->
@@ -770,9 +772,13 @@ let gen_client_msg =
           Zltp_wire.Hello
             { version = v land 0xff; modes = List.map (fun b -> if b then Zltp_mode.Pir2 else Zltp_mode.Enclave) ms })
         (pair (int_bound 255) (list_size (0 -- 4) bool));
-      map (fun k -> Zltp_wire.Pir_query { dpf_key = k }) str;
-      map (fun ks -> Zltp_wire.Pir_batch { dpf_keys = ks }) (list_size (0 -- 6) str);
-      map (fun k -> Zltp_wire.Enclave_get { key = k }) str;
+      map (fun (q, k) -> Zltp_wire.Pir_query { qid = q land 0xffffff; dpf_key = k })
+        (pair (int_bound 0xffffff) str);
+      map (fun (q, ks) -> Zltp_wire.Pir_batch { qid = q land 0xffffff; dpf_keys = ks })
+        (pair (int_bound 0xffffff) (list_size (0 -- 6) str));
+      map (fun (q, k) -> Zltp_wire.Enclave_get { qid = q land 0xffffff; key = k })
+        (pair (int_bound 0xffffff) str);
+      map (fun q -> Zltp_wire.Health { qid = q land 0xffffff }) (int_bound 0xffffff);
       return Zltp_wire.Bye;
     ]
 
@@ -793,10 +799,18 @@ let gen_server_msg =
               server_id = id;
             })
         (quad (int_bound 255) (int_bound 1000000) str str);
-      map (fun s -> Zltp_wire.Answer { share = s }) str;
-      map (fun ss -> Zltp_wire.Batch_answer { shares = ss }) (list_size (0 -- 6) str);
-      map (fun v -> Zltp_wire.Enclave_answer { value = v }) (option str);
-      map (fun (c, m) -> Zltp_wire.Err { code = c land 0xff; message = m }) (pair (int_bound 255) str);
+      map (fun (q, s) -> Zltp_wire.Answer { qid = q land 0xffffff; share = s })
+        (pair (int_bound 0xffffff) str);
+      map (fun (q, ss) -> Zltp_wire.Batch_answer { qid = q land 0xffffff; shares = ss })
+        (pair (int_bound 0xffffff) (list_size (0 -- 6) str));
+      map (fun (q, v) -> Zltp_wire.Enclave_answer { qid = q land 0xffffff; value = v })
+        (pair (int_bound 0xffffff) (option str));
+      map (fun (q, t, d) ->
+          Zltp_wire.Health_reply
+            { qid = q land 0xffffff; shards_total = t land 0xffff; shards_down = d land 0xffff })
+        (triple (int_bound 0xffffff) (int_bound 0xffff) (int_bound 0xffff));
+      map (fun (c, m) -> Zltp_wire.Err { qid = 0; code = c land 0xff; message = m })
+        (pair (int_bound 255) str);
     ]
 
 let prop_client_codec =
@@ -814,8 +828,92 @@ let prop_decoder_total =
       (match Zltp_wire.decode_client s with Ok _ | Error _ -> true)
       && match Zltp_wire.decode_server s with Ok _ | Error _ -> true)
 
+(* Mutations of honest encodings are the adversarially interesting inputs:
+   they pass every superficial shape check. A single flipped byte must
+   yield a structured [Error] (the CRC trailer catches it) or — only if
+   the flip landed in the trailer of a message whose CRC still matches,
+   which it can't for a single bit — a valid decode; never an exception. *)
+let mutate_byte s pos =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let i = pos mod Bytes.length b in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (pos mod 8))));
+    Bytes.unsafe_to_string b
+  end
+
+let prop_client_mutation =
+  QCheck.Test.make ~name:"mutated client encodings rejected cleanly" ~count:400
+    (QCheck.make QCheck.Gen.(pair gen_client_msg (int_bound 10000)))
+    (fun (m, pos) ->
+      let s = mutate_byte (Zltp_wire.encode_client m) pos in
+      match Zltp_wire.decode_client s with Ok _ | Error _ -> true)
+
+let prop_server_mutation =
+  QCheck.Test.make ~name:"mutated server encodings rejected cleanly" ~count:400
+    (QCheck.make QCheck.Gen.(pair gen_server_msg (int_bound 10000)))
+    (fun (m, pos) ->
+      let s = mutate_byte (Zltp_wire.encode_server m) pos in
+      match Zltp_wire.decode_server s with Ok _ | Error _ -> true)
+
+let prop_single_bit_flip_detected =
+  (* every single-bit flip in the body or trailer is caught: that is the
+     CRC-32 guarantee the chaos suite's Corrupt fault relies on *)
+  QCheck.Test.make ~name:"single bit flip always detected" ~count:400
+    (QCheck.make QCheck.Gen.(pair gen_client_msg (int_bound 100000)))
+    (fun (m, bit) ->
+      let s = Zltp_wire.encode_client m in
+      let b = Bytes.of_string s in
+      let i = bit mod (String.length s * 8) in
+      Bytes.set b (i / 8)
+        (Char.chr (Char.code (Bytes.get b (i / 8)) lxor (1 lsl (i mod 8))));
+      Result.is_error (Zltp_wire.decode_client (Bytes.unsafe_to_string b)))
+
+let test_wire_huge_length_claims () =
+  (* a length field claiming gigabytes must fail fast on the bounds check,
+     not allocate: we seal bodies with a valid CRC so the claim is actually
+     reached, and watch the allocation counter *)
+  let seal body =
+    let n = String.length body in
+    let b = Bytes.create (n + 4) in
+    Bytes.blit_string body 0 b 0 n;
+    Bytes.set_int32_be b n (Lw_util.Crc32.digest body);
+    Bytes.unsafe_to_string b
+  in
+  let u32 v =
+    let b = Bytes.create 4 in
+    Bytes.set_int32_be b 0 (Int32.of_int v);
+    Bytes.unsafe_to_string b
+  in
+  let cases =
+    [
+      (* Pir_query with a dpf_key claiming 0xFFFFFFF0 bytes *)
+      ("huge string", "\x02" ^ u32 7 ^ u32 0xFFFFFFF0);
+      (* Pir_batch claiming 2^30 keys *)
+      ("huge list", "\x03" ^ u32 7 ^ u32 (1 lsl 30));
+      (* nested: plausible list length but each element huge *)
+      ("huge element", "\x03" ^ u32 7 ^ u32 2 ^ u32 0x7FFFFFFF);
+    ]
+  in
+  List.iter
+    (fun (name, body) ->
+      let before = Gc.minor_words () in
+      Alcotest.(check bool) name true (Result.is_error (Zltp_wire.decode_client (seal body)));
+      let allocated = Gc.minor_words () -. before in
+      Alcotest.(check bool) (name ^ " no unbounded alloc") true (allocated < 1e6))
+    cases
+
 let wire_props =
-  List.map QCheck_alcotest.to_alcotest [ prop_client_codec; prop_server_codec; prop_decoder_total ]
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_client_codec;
+      prop_server_codec;
+      prop_decoder_total;
+      prop_client_mutation;
+      prop_server_mutation;
+      prop_single_bit_flip_detected;
+    ]
+  @ [ Alcotest.test_case "huge length claims" `Quick test_wire_huge_length_claims ]
 
 (* ---------------- Peering ---------------- *)
 

@@ -34,6 +34,153 @@ let test_frame_channels () =
   close_in ic;
   Sys.remove path
 
+let test_frame_mid_eof () =
+  (* EOF inside a frame is Malformed (the stream can never resync), EOF at
+     a frame boundary stays the clean End_of_file *)
+  let with_bytes bytes f =
+    let path = Filename.temp_file "lw_frame" ".bin" in
+    let oc = open_out_bin path in
+    output_string oc bytes;
+    close_out oc;
+    let ic = open_in_bin path in
+    let r = f ic in
+    close_in ic;
+    Sys.remove path;
+    r
+  in
+  (* header promises 10 bytes, only 5 arrive *)
+  let truncated_payload = "\x00\x00\x00\x0ahello" in
+  Alcotest.(check bool) "payload cut" true
+    (with_bytes truncated_payload (fun ic ->
+         match Frame.read ic with exception Frame.Malformed _ -> true | _ -> false));
+  (* EOF in the middle of the 4-byte header itself *)
+  Alcotest.(check bool) "header cut" true
+    (with_bytes "\x00\x00" (fun ic ->
+         match Frame.read ic with exception Frame.Malformed _ -> true | _ -> false));
+  (* a complete frame followed by a truncated one: first reads fine *)
+  let mixed = Frame.encode "ok" ^ "\x00\x00\x00\x05ab" in
+  Alcotest.(check bool) "good then cut" true
+    (with_bytes mixed (fun ic ->
+         let first = Frame.read ic in
+         first = "ok"
+         && match Frame.read ic with exception Frame.Malformed _ -> true | _ -> false))
+
+let test_frame_short_reads_fd () =
+  (* a peer that dribbles one byte at a time must still yield whole
+     frames: the read loop has to keep going across short reads *)
+  let r, w = Unix.pipe () in
+  let payload = String.make 300 'z' in
+  let framed = Frame.encode payload in
+  let writer =
+    Thread.create
+      (fun () ->
+        String.iter
+          (fun c ->
+            ignore (Unix.write_substring w (String.make 1 c) 0 1);
+            Thread.yield ())
+          framed;
+        Unix.close w)
+      ()
+  in
+  let got = Frame.read_fd r in
+  Thread.join writer;
+  Alcotest.(check string) "reassembled" payload got;
+  (* the writer closed: next read is a clean EOF at a frame boundary *)
+  Alcotest.(check bool) "clean eof" true
+    (match Frame.read_fd r with exception End_of_file -> true | _ -> false);
+  Unix.close r
+
+(* ---------------- Clock ---------------- *)
+
+let test_virtual_clock () =
+  let c = Clock.virtual_ () in
+  Alcotest.(check (float 1e-9)) "starts at zero" 0.0 (Clock.now c);
+  let wall0 = Unix.gettimeofday () in
+  Clock.sleep c 3600.0;
+  Clock.sleep c 0.25;
+  Alcotest.(check (float 1e-9)) "advanced" 3600.25 (Clock.now c);
+  Alcotest.(check bool) "no wall time spent" true (Unix.gettimeofday () -. wall0 < 1.0);
+  (* negative sleeps don't rewind *)
+  Clock.sleep c (-5.0);
+  Alcotest.(check (float 1e-9)) "monotonic" 3600.25 (Clock.now c)
+
+(* ---------------- Faulty ---------------- *)
+
+let test_faulty_passthrough () =
+  let ep = Endpoint.loopback (fun m -> "re:" ^ m) in
+  let f, c = Faulty.wrap Faulty.none ep in
+  f.Endpoint.send "a";
+  Alcotest.(check string) "clean" "re:a" (f.Endpoint.recv ());
+  Alcotest.(check int) "both directions counted" 2 c.Faulty.passed;
+  Alcotest.(check int) "no faults" 0 (Faulty.total_faults c)
+
+let test_faulty_drop_times_out () =
+  let ep = Endpoint.loopback (fun m -> "re:" ^ m) in
+  let f, c = Faulty.wrap (Faulty.of_plan ~send:[ (0, Faulty.Drop) ] ()) ep in
+  f.Endpoint.send "lost";
+  (* the swallowed request means the awaited reply never comes: the recv
+     surfaces a deadline expiry instead of blocking forever *)
+  Alcotest.(check bool) "timeout" true
+    (match f.Endpoint.recv () with exception Endpoint.Timeout -> true | _ -> false);
+  Alcotest.(check int) "drop counted" 1 c.Faulty.drops;
+  (* the connection survives: a second exchange works *)
+  f.Endpoint.send "again";
+  Alcotest.(check string) "recovered" "re:again" (f.Endpoint.recv ())
+
+let test_faulty_duplicate_and_corrupt () =
+  let ep = Endpoint.loopback (fun m -> m) in
+  let f, c =
+    Faulty.wrap
+      (Faulty.of_plan ~recv:[ (0, Faulty.Duplicate); (2, Faulty.Corrupt 1) ] ())
+      ep
+  in
+  f.Endpoint.send "dup";
+  Alcotest.(check string) "first copy" "dup" (f.Endpoint.recv ());
+  f.Endpoint.send "next";
+  (* the duplicated reply arrives before the fresh one *)
+  Alcotest.(check string) "stale duplicate" "dup" (f.Endpoint.recv ());
+  f.Endpoint.send "xyz";
+  Alcotest.(check string) "fresh after duplicate" "next" (f.Endpoint.recv ());
+  let corrupted = f.Endpoint.recv () in
+  Alcotest.(check bool) "one bit flipped" true
+    (corrupted <> "xyz" && String.length corrupted = 3);
+  Alcotest.(check int) "dup counted" 1 c.Faulty.duplicates;
+  Alcotest.(check int) "corrupt counted" 1 c.Faulty.corrupts
+
+let test_faulty_stall_closes () =
+  let ep = Endpoint.loopback (fun m -> m) in
+  let f, c = Faulty.wrap (Faulty.of_plan ~send:[ (1, Faulty.Stall_close) ] ()) ep in
+  f.Endpoint.send "ok";
+  Alcotest.(check string) "before stall" "ok" (f.Endpoint.recv ());
+  f.Endpoint.send "stalled";
+  Alcotest.(check bool) "stall times out" true
+    (match f.Endpoint.recv () with exception Endpoint.Timeout -> true | _ -> false);
+  Alcotest.(check bool) "then closed" true
+    (match f.Endpoint.recv () with exception Endpoint.Closed -> true | _ -> false);
+  Alcotest.(check int) "stall counted" 1 c.Faulty.stalls
+
+let test_faulty_bernoulli_replays () =
+  (* the same seed must describe the identical fault sequence — that is
+     what makes a chaos run reproducible from its seed alone *)
+  let sample seed =
+    let s = Faulty.bernoulli ~seed ~rate:0.3 in
+    List.init 200 (fun i ->
+        (Option.map Faulty.fault_name (s Faulty.Send i),
+         Option.map Faulty.fault_name (s Faulty.Recv i)))
+  in
+  Alcotest.(check bool) "same seed, same schedule" true (sample "s1" = sample "s1");
+  Alcotest.(check bool) "different seed, different schedule" true
+    (sample "s1" <> sample "s2");
+  (* rate 0 is clean, rate must hit roughly where asked *)
+  let clean = Faulty.bernoulli ~seed:"s3" ~rate:0.0 in
+  Alcotest.(check bool) "rate 0 clean" true
+    (List.for_all (fun i -> clean Faulty.Send i = None) (List.init 100 Fun.id));
+  let faults =
+    let s = Faulty.bernoulli ~seed:"s4" ~rate:0.2 in
+    List.length (List.filter (fun i -> s Faulty.Send i <> None) (List.init 1000 Fun.id))
+  in
+  Alcotest.(check bool) "rate in the ballpark" true (faults > 120 && faults < 280)
+
 (* ---------------- Endpoint ---------------- *)
 
 let test_pipe_order () =
@@ -133,7 +280,7 @@ let test_tcp_echo () =
         in
         loop ())
   in
-  let client = Tcp.connect ~host:"127.0.0.1" ~port:(Tcp.port server) in
+  let client = Tcp.connect ~host:"127.0.0.1" ~port:(Tcp.port server) () in
   client.Endpoint.send "over tcp";
   Alcotest.(check string) "echo" "echo:over tcp" (client.Endpoint.recv ());
   client.Endpoint.send (String.make 100000 'x');
@@ -153,7 +300,7 @@ let test_tcp_concurrent_clients () =
     List.init 8 (fun i ->
         Thread.create
           (fun () ->
-            let c = Tcp.connect ~host:"127.0.0.1" ~port:(Tcp.port server) in
+            let c = Tcp.connect ~host:"127.0.0.1" ~port:(Tcp.port server) () in
             c.Endpoint.send (Printf.sprintf "client-%d" i);
             results.(i) <- c.Endpoint.recv ();
             c.Endpoint.close ())
@@ -163,6 +310,55 @@ let test_tcp_concurrent_clients () =
   Array.iteri
     (fun i r -> Alcotest.(check string) (Printf.sprintf "client %d" i) (Printf.sprintf "CLIENT-%d" i) r)
     results;
+  Tcp.shutdown server
+
+let test_tcp_shutdown_prompt () =
+  (* shutdown must tear down live per-connection endpoints, not just the
+     listening socket: a handler parked in recv has to wake with Closed,
+     and the client side has to see its connection die promptly *)
+  let handler_done = ref false in
+  let server =
+    Tcp.serve ~host:"127.0.0.1" ~port:0 (fun ep ->
+        (match ep.Endpoint.recv () with
+        | _ -> ()
+        | exception (Endpoint.Closed | End_of_file) -> ());
+        handler_done := true)
+  in
+  let client = Tcp.connect ~host:"127.0.0.1" ~port:(Tcp.port server) () in
+  (* let the accept land so the handler is really blocked in recv *)
+  Thread.delay 0.05;
+  let t0 = Unix.gettimeofday () in
+  Tcp.shutdown server;
+  let client_died =
+    match client.Endpoint.recv () with
+    | exception (Endpoint.Closed | End_of_file | Frame.Malformed _) -> true
+    | exception Unix.Unix_error _ -> true
+    | _ -> false
+  in
+  let waited = ref 0.0 in
+  while (not !handler_done) && !waited < 2.0 do
+    Thread.delay 0.01;
+    waited := !waited +. 0.01
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "client connection died" true client_died;
+  Alcotest.(check bool) "handler thread terminated" true !handler_done;
+  Alcotest.(check bool) "prompt (under 2s)" true (elapsed < 2.0);
+  client.Endpoint.close ()
+
+let test_tcp_recv_timeout () =
+  (* a silent server: the client's deadline fires as Endpoint.Timeout *)
+  let server = Tcp.serve ~host:"127.0.0.1" ~port:0 (fun _ep -> Thread.delay 5.0) in
+  let client =
+    Tcp.connect ~recv_timeout_s:0.1 ~host:"127.0.0.1" ~port:(Tcp.port server) ()
+  in
+  let t0 = Unix.gettimeofday () in
+  Alcotest.(check bool) "times out" true
+    (match client.Endpoint.recv () with
+    | exception Endpoint.Timeout -> true
+    | _ -> false);
+  Alcotest.(check bool) "and does so promptly" true (Unix.gettimeofday () -. t0 < 2.0);
+  client.Endpoint.close ();
   Tcp.shutdown server
 
 (* ---------------- Secure_channel ---------------- *)
@@ -307,6 +503,18 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
           Alcotest.test_case "rejects" `Quick test_frame_rejects;
           Alcotest.test_case "channels" `Quick test_frame_channels;
+          Alcotest.test_case "mid-frame eof" `Quick test_frame_mid_eof;
+          Alcotest.test_case "short reads" `Quick test_frame_short_reads_fd;
+        ] );
+      ( "clock",
+        [ Alcotest.test_case "virtual" `Quick test_virtual_clock ] );
+      ( "faulty",
+        [
+          Alcotest.test_case "passthrough" `Quick test_faulty_passthrough;
+          Alcotest.test_case "drop times out" `Quick test_faulty_drop_times_out;
+          Alcotest.test_case "duplicate and corrupt" `Quick test_faulty_duplicate_and_corrupt;
+          Alcotest.test_case "stall closes" `Quick test_faulty_stall_closes;
+          Alcotest.test_case "bernoulli replays" `Quick test_faulty_bernoulli_replays;
         ] );
       ( "endpoint",
         [
@@ -325,6 +533,8 @@ let () =
         [
           Alcotest.test_case "echo" `Quick test_tcp_echo;
           Alcotest.test_case "concurrent clients" `Quick test_tcp_concurrent_clients;
+          Alcotest.test_case "shutdown prompt" `Quick test_tcp_shutdown_prompt;
+          Alcotest.test_case "recv timeout" `Quick test_tcp_recv_timeout;
         ] );
       ( "secure-channel",
         [
