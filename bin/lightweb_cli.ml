@@ -195,6 +195,22 @@ let do_modes () =
 
 (* ---------------- cmdliner wiring ---------------- *)
 
+(* --metrics: after the command finishes, dump the process-wide lw_obs
+   registry (retry/failover counters, per-shard answer histograms, fault
+   injection totals, ...) to stderr so stdout stays the page/record. *)
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"On exit, dump the observability registry (Prometheus text) to stderr.")
+
+let finish ~metrics code =
+  if metrics then begin
+    prerr_string (Lw_obs.Export.to_prometheus ());
+    flush stderr
+  end;
+  code
+
 let host_arg =
   Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Server host.")
 
@@ -224,7 +240,10 @@ let serve_cmd =
   in
   Cmd.v
     (Cmd.info "serve" ~doc:"Host a lightweb universe over TCP ZLTP.")
-    Term.(const do_serve $ sites_arg $ snapshot_arg $ port_arg $ shard_bits $ verbose)
+    Term.(
+      const (fun sites snap port sb v metrics ->
+          finish ~metrics (do_serve sites snap port sb v))
+      $ sites_arg $ snapshot_arg $ port_arg $ shard_bits $ verbose $ metrics_arg)
 
 let do_snapshot sites_dir out =
   match universe_of_sites sites_dir with
@@ -260,13 +279,17 @@ let browse_cmd =
   let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH") in
   Cmd.v
     (Cmd.info "browse" ~doc:"Privately browse a lightweb path.")
-    Term.(const do_browse $ path $ host_arg $ port_arg)
+    Term.(
+      const (fun path host port metrics -> finish ~metrics (do_browse path host port))
+      $ path $ host_arg $ port_arg $ metrics_arg)
 
 let get_cmd =
   let key = Arg.(required & pos 0 (some string) None & info [] ~docv:"KEY") in
   Cmd.v
     (Cmd.info "get" ~doc:"Raw private-GET against the data universe.")
-    Term.(const do_get $ key $ host_arg $ port_arg)
+    Term.(
+      const (fun key host port metrics -> finish ~metrics (do_get key host port))
+      $ key $ host_arg $ port_arg $ metrics_arg)
 
 let estimate_cmd =
   let gib = Arg.(value & opt (some float) None & info [ "gib" ] ~docv:"GIB" ~doc:"Dataset size.") in

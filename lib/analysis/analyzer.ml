@@ -101,7 +101,8 @@ let rec ml_files_under path =
 
 (* Lint every .ml file under [paths] (files or directories). *)
 let scan_paths ?(rules = Rules.all) paths =
-  let t0 = Unix.gettimeofday () (* lw-lint: allow nondeterminism *) in
+  let clock = Lw_obs.Span.clock () in
+  let t0 = Lw_obs.Clock.now clock in
   let files = List.concat_map ml_files_under paths in
   let results =
     List.concat_map
@@ -110,7 +111,7 @@ let scan_paths ?(rules = Rules.all) paths =
         [ r ])
       files
   in
-  let elapsed = Unix.gettimeofday () -. t0 (* lw-lint: allow nondeterminism *) in
+  let elapsed = Lw_obs.Clock.now clock -. t0 in
   Report.make ~files_scanned:(List.length files)
     ~findings:(List.concat_map (fun r -> r.findings) results)
     ~suppressed:(List.fold_left (fun a r -> a + r.suppressed) 0 results)

@@ -203,6 +203,41 @@ let nondeterminism =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Rule 3b: all wall-clock reads go through the observability clock.   *)
+(* ------------------------------------------------------------------ *)
+
+(* Stricter cousin of [nondeterminism], born with lw_obs: inside lib/
+   the only legitimate wall-clock reader is [Lw_obs.Clock.real] (plus
+   the system-entropy seeding in drbg.ml and the deterministic RNG),
+   so telemetry cannot fork timing behaviour away from the virtual
+   clocks that tests and the chaos harness install. Unlike the pragma
+   sprinkle this replaced, an exemption here is structural (the obs
+   layer itself), not per-call-site. *)
+let raw_timestamp =
+  {
+    name = "raw-timestamp";
+    doc =
+      "lib/ code must read time via Lw_obs.Clock (Span.clock ()); raw \
+       Unix.gettimeofday is reserved to lib/obs so virtual clocks stay in \
+       charge everywhere else";
+    applies =
+      (fun ctx ->
+        in_lib ctx && not (has_segment ctx "obs")
+        && ctx.basename <> "clock.ml"
+        && ctx.basename <> "det_rng.ml" && ctx.basename <> "drbg.ml");
+    check =
+      banned_ident_check
+        ~exact:[ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
+        ~prefixes:[]
+        ~msg:(fun name ->
+          Printf.sprintf
+            "raw timestamp %s; use Lw_obs.Clock.now (Lw_obs.Span.clock ()) so \
+             virtual clocks drive it in tests"
+            name)
+        "raw-timestamp";
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Rule 4: no printing from crypto modules.                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -296,6 +331,10 @@ let unbounded_wait =
                | _ -> None));
   }
 
-let all = [ ct_equality; secret_branch; nondeterminism; key_print; server_abort; unbounded_wait ]
+let all =
+  [
+    ct_equality; secret_branch; nondeterminism; raw_timestamp; key_print; server_abort;
+    unbounded_wait;
+  ]
 
 let by_name name = List.find_opt (fun r -> r.name = name) all

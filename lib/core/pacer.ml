@@ -2,62 +2,101 @@ type action = Real of string | Dummy
 
 type slot = { time_s : float; action : action }
 
-let pace ~slot_s ~horizon_s visits =
+let sort_visits visits =
+  List.sort (fun (a, _) (b, _) -> Float.compare a b) visits
+
+let pace ?(drain = false) ~slot_s ~horizon_s visits =
   if slot_s <= 0. || horizon_s <= 0. then invalid_arg "Pacer.pace: slot and horizon must be positive";
   let queue = Queue.create () in
-  let pending = ref (List.sort (fun (a, _) (b, _) -> compare a b) visits) in
+  let pending = ref (sort_visits visits) in
   let n_slots = int_of_float (Float.ceil (horizon_s /. slot_s)) in
-  List.init n_slots (fun i ->
-      let time_s = float_of_int i *. slot_s in
-      (* admit every request that has arrived by this slot *)
+  let slots = ref [] in
+  let emit i =
+    let time_s = float_of_int i *. slot_s in
+    (* admit every request that has arrived by this slot *)
+    let rec admit () =
+      match !pending with
+      | (t, page) :: rest when t <= time_s ->
+          Queue.push (t, page) queue;
+          pending := rest;
+          admit ()
+      | _ -> ()
+    in
+    admit ();
+    let action =
+      if Queue.is_empty queue then Dummy
+      else begin
+        let _, page = Queue.pop queue in
+        Real page
+      end
+    in
+    slots := { time_s; action } :: !slots
+  in
+  let i = ref 0 in
+  while !i < n_slots do
+    emit !i;
+    incr i
+  done;
+  (* [drain]: keep the cadence going past the horizon until the backlog —
+     and every not-yet-arrived visit — has been served, so no visit is
+     silently dropped. The slot count then depends on the visits; the
+     default keeps it input-independent (see the .mli). *)
+  if drain then
+    while !pending <> [] || not (Queue.is_empty queue) do
+      emit !i;
+      incr i
+    done;
+  List.rev !slots
+
+type stats = {
+  slots : int;
+  real : int;
+  dummies : int;
+  dropped : int;
+  max_delay_s : float;
+  mean_delay_s : float;
+  overhead : float;
+}
+
+(* Replay the exact admission/FIFO discipline [pace] uses, pairing each
+   [Real] slot with the visit it actually served. The old positional
+   pairing (i-th sorted arrival with i-th real slot) miscounted as soon
+   as the schedule dropped anything; the replay is exact by
+   construction and surfaces the dropped visits it finds. *)
+let stats ~slot_s:_ visits schedule =
+  let queue = Queue.create () in
+  let pending = ref (sort_visits visits) in
+  let delays = ref [] and real = ref 0 and dummies = ref 0 in
+  List.iter
+    (fun s ->
       let rec admit () =
         match !pending with
-        | (t, page) :: rest when t <= time_s ->
+        | (t, page) :: rest when t <= s.time_s ->
             Queue.push (t, page) queue;
             pending := rest;
             admit ()
         | _ -> ()
       in
       admit ();
-      let action =
-        if Queue.is_empty queue then Dummy
-        else begin
-          let _, page = Queue.pop queue in
-          Real page
-        end
-      in
-      { time_s; action })
-
-type stats = {
-  slots : int;
-  real : int;
-  dummies : int;
-  max_delay_s : float;
-  mean_delay_s : float;
-  overhead : float;
-}
-
-let stats ~slot_s visits schedule =
-  ignore slot_s;
-  (* recover per-request delays by replaying the FIFO order *)
-  let arrivals =
-    List.sort compare (List.map fst visits) |> Array.of_list
-  in
-  let real_times =
-    List.filter_map (fun s -> match s.action with Real _ -> Some s.time_s | Dummy -> None) schedule
-    |> Array.of_list
-  in
-  let served = min (Array.length arrivals) (Array.length real_times) in
-  let delays = Array.init served (fun i -> real_times.(i) -. arrivals.(i)) in
-  let real = Array.length real_times in
-  let dummies = List.length schedule - real in
+      match s.action with
+      | Dummy -> incr dummies
+      | Real _ ->
+          incr real;
+          if not (Queue.is_empty queue) then begin
+            let t, _ = Queue.pop queue in
+            delays := (s.time_s -. t) :: !delays
+          end)
+    schedule;
+  let dropped = Queue.length queue + List.length !pending in
+  let served = List.length !delays in
   {
     slots = List.length schedule;
-    real;
-    dummies;
-    max_delay_s = (if served = 0 then 0. else Array.fold_left Float.max 0. delays);
+    real = !real;
+    dummies = !dummies;
+    dropped;
+    max_delay_s = (if served = 0 then 0. else List.fold_left Float.max 0. !delays);
     mean_delay_s =
       (if served = 0 then 0.
-       else Array.fold_left ( +. ) 0. delays /. float_of_int served);
-    overhead = float_of_int dummies /. float_of_int (max 1 real);
+       else List.fold_left ( +. ) 0. !delays /. float_of_int served);
+    overhead = float_of_int !dummies /. float_of_int (max 1 !real);
   }

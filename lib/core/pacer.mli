@@ -13,23 +13,36 @@ type action = Real of string | Dummy
 
 type slot = { time_s : float; action : action }
 
-val pace : slot_s:float -> horizon_s:float -> (float * string) list -> slot list
+val pace :
+  ?drain:bool -> slot_s:float -> horizon_s:float -> (float * string) list -> slot list
 (** [pace ~slot_s ~horizon_s visits] turns timestamped page requests into
     the slotted schedule over [[0, horizon_s)]. Requests are served FIFO at
     the first slot at-or-after their arrival; slots with an empty queue
-    emit [Dummy]. The slot count — the attacker's whole view — is
-    [ceil (horizon_s / slot_s)] regardless of [visits]. Visits outside the
-    horizon are ignored; [slot_s] and [horizon_s] must be positive. *)
+    emit [Dummy]. By default the slot count — the attacker's whole view —
+    is [ceil (horizon_s / slot_s)] regardless of [visits], and visits that
+    arrive after the last slot, or are still queued when the horizon ends,
+    are dropped (they show up as {!stats}[.dropped]).
+
+    [~drain:true] instead keeps emitting slots at the same cadence past
+    the horizon until every visit has been admitted and served, so
+    nothing is dropped — at the price of a schedule length that now
+    depends on the visits, which is the operator's trade to make.
+    [slot_s] and [horizon_s] must be positive. *)
 
 type stats = {
   slots : int;
   real : int;
   dummies : int;
-  max_delay_s : float; (** worst queueing delay of a real request *)
+  dropped : int;
+      (** visits never served by the schedule (arrived after its last
+          slot, or still queued when it ended) *)
+  max_delay_s : float; (** worst queueing delay of a served request *)
   mean_delay_s : float;
   overhead : float; (** dummies / max real 1 — the cover-traffic cost factor *)
 }
 
 val stats : slot_s:float -> (float * string) list -> slot list -> stats
-(** [stats ~slot_s visits schedule] summarises a {!pace} run: delay is
-    measured from a visit's arrival to the slot that served it. *)
+(** [stats ~slot_s visits schedule] summarises a {!pace} run by replaying
+    its admission/FIFO discipline, so each [Real] slot is paired with the
+    exact visit it served; delay is measured from a visit's arrival to
+    that slot. *)

@@ -15,13 +15,19 @@ let pending t = List.length t.queue
 let batches_executed t = t.batches
 let queries_answered t = t.answered
 
+let m_batches = Lw_obs.Metrics.counter "zltp.batch.batches"
+let m_answered = Lw_obs.Metrics.counter "zltp.batch.queries_answered"
+
 let run_batch t entries =
-  let entries = Array.of_list entries in
-  let keys = Array.map fst entries in
-  let shares = Lw_pir.Server.answer_batch t.server keys in
-  Array.iteri (fun i (_, deliver) -> deliver shares.(i)) entries;
-  t.batches <- t.batches + 1;
-  t.answered <- t.answered + Array.length entries
+  Lw_obs.Span.with_ ~name:"zltp.batch.run" (fun () ->
+      let entries = Array.of_list entries in
+      let keys = Array.map fst entries in
+      let shares = Lw_pir.Server.answer_batch t.server keys in
+      Array.iteri (fun i (_, deliver) -> deliver shares.(i)) entries;
+      t.batches <- t.batches + 1;
+      t.answered <- t.answered + Array.length entries;
+      Lw_obs.Metrics.incr m_batches;
+      Lw_obs.Metrics.add m_answered (Array.length entries))
 
 let flush t =
   match t.queue with
@@ -45,10 +51,10 @@ type measurement = {
 let measure server keys =
   let n = Array.length keys in
   if n = 0 then invalid_arg "Zltp_batch.measure: empty batch";
-  (* batch wall-clock telemetry, not protocol randomness *)
-  let t0 = Unix.gettimeofday () (* lw-lint: allow nondeterminism *) in
+  let clock = Lw_obs.Span.clock () in
+  let t0 = Lw_obs.Clock.now clock in
   let shares = Lw_pir.Server.answer_batch server keys in
-  let t1 = Unix.gettimeofday () (* lw-lint: allow nondeterminism *) in
+  let t1 = Lw_obs.Clock.now clock in
   ignore shares;
   let total = t1 -. t0 in
   {

@@ -198,6 +198,14 @@ let role_session t role =
       in
       try_from 0 []
 
+(* Registry mirrors of the per-client telemetry fields, so retry storms
+   and failovers show up in a process [--metrics] dump across every
+   client instance. *)
+let m_queries = Lw_obs.Metrics.counter "zltp.client.queries"
+let m_retries = Lw_obs.Metrics.counter "zltp.client.retries"
+let m_failovers = Lw_obs.Metrics.counter "zltp.client.failovers"
+let m_backoff = Lw_obs.Metrics.histogram "zltp.client.backoff_seconds"
+
 (* Tear down a role's connection after a failure and point its cursor at
    the next replica, so the re-dial inside the next attempt fails over. *)
 let fail_role t role =
@@ -208,7 +216,8 @@ let fail_role t role =
   let n = Array.length role.replicas in
   if n > 1 then begin
     role.cursor <- (role.cursor + 1) mod n;
-    t.failovers <- t.failovers + 1
+    t.failovers <- t.failovers + 1;
+    Lw_obs.Metrics.incr m_failovers
   end
 
 (* ---- retry loop ---- *)
@@ -235,6 +244,8 @@ let with_retry t op =
             Error (Printf.sprintf "%s (deadline exceeded)" e)
           else begin
             t.retries <- t.retries + 1;
+            Lw_obs.Metrics.incr m_retries;
+            Lw_obs.Metrics.observe m_backoff pause;
             Lw_net.Clock.sleep t.clock pause;
             go (attempt + 1)
           end
@@ -364,6 +375,7 @@ let pir_attempt t index =
           match (r0, r1) with
           | Ok share0, Ok share1 ->
               t.queries <- t.queries + 1;
+              Lw_obs.Metrics.incr m_queries;
               Ok (Lw_pir.Client.combine ~resp0:share0 ~resp1:share1)
           | _ -> first_error [ r0; r1 ])
       | _ -> first_error [ sent0; sent1 ])
@@ -390,6 +402,7 @@ let enclave_attempt t key =
               match recv_matching s.ep ~qid with
               | Ok (Zltp_wire.Enclave_answer { value; _ }) ->
                   t.queries <- t.queries + 1;
+              Lw_obs.Metrics.incr m_queries;
                   Ok value
               | Ok (Zltp_wire.Err { code; message; _ }) ->
                   if code = Zltp_wire.err_degraded || code = Zltp_wire.err_internal then
@@ -444,6 +457,7 @@ let pir_batch_attempt t indexed_keys =
           match (r0, r1) with
           | Ok shares0, Ok shares1 ->
               t.queries <- t.queries + n;
+              Lw_obs.Metrics.add m_queries n;
               Ok
                 (List.map2
                    (fun (key, _) (resp0, resp1) ->

@@ -4,7 +4,18 @@ type t = {
   bucket_size : int;
   shards : Lw_pir.Server.t array;
   down : bool array;
+  shard_hist : Lw_obs.Metrics.histogram array;
+      (* per-shard answer latency; shared by name across front-ends of the
+         same width, which is what an operator wants from a process dump *)
 }
+
+let m_answers = Lw_obs.Metrics.counter "zltp.frontend.answers"
+let m_batch_queries = Lw_obs.Metrics.counter "zltp.frontend.batch_queries"
+let m_refusals = Lw_obs.Metrics.counter "zltp.frontend.degraded_refusals"
+let g_shards_down = Lw_obs.Metrics.gauge "zltp.frontend.shards_down"
+
+let shard_histogram i =
+  Lw_obs.Metrics.histogram (Printf.sprintf "zltp.frontend.shard%02d.answer_seconds" i)
 
 let create ~domain_bits ~shard_bits ~bucket_size =
   if shard_bits <= 0 || shard_bits >= domain_bits then
@@ -14,7 +25,14 @@ let create ~domain_bits ~shard_bits ~bucket_size =
     Array.init (1 lsl shard_bits) (fun _ ->
         Lw_pir.Server.create (Lw_pir.Bucket_db.create ~domain_bits:rem ~bucket_size))
   in
-  { domain_bits; shard_bits; bucket_size; shards; down = Array.make (1 lsl shard_bits) false }
+  {
+    domain_bits;
+    shard_bits;
+    bucket_size;
+    shards;
+    down = Array.make (1 lsl shard_bits) false;
+    shard_hist = Array.init (1 lsl shard_bits) shard_histogram;
+  }
 
 let of_db db ~shard_bits =
   let domain_bits = Lw_pir.Bucket_db.domain_bits db in
@@ -33,14 +51,15 @@ let shard_bits t = t.shard_bits
 let shard_count t = Array.length t.shards
 let bucket_size t = t.bucket_size
 
-let set_shard_down t i down =
-  if i < 0 || i >= Array.length t.shards then invalid_arg "Zltp_frontend.set_shard_down";
-  t.down.(i) <- down
-
-let shard_down t i = t.down.(i)
-
 let shards_down t =
   Array.fold_left (fun n d -> if d then n + 1 else n) 0 t.down
+
+let set_shard_down t i down =
+  if i < 0 || i >= Array.length t.shards then invalid_arg "Zltp_frontend.set_shard_down";
+  t.down.(i) <- down;
+  Lw_obs.Metrics.set g_shards_down (float_of_int (shards_down t))
+
+let shard_down t i = t.down.(i)
 
 (* An answer share is the XOR over every shard's contribution, so a single
    unreachable shard makes the whole share wrong — the only safe reaction
@@ -82,13 +101,36 @@ let combine_shares t shares =
     shares;
   Bytes.unsafe_to_string acc
 
+(* Time one shard's contribution against the span clock and feed the
+   per-shard histogram; with metrics disabled this is the bare call. *)
+let timed_shard t i f =
+  if Lw_obs.Metrics.is_enabled () then begin
+    let c = Lw_obs.Span.clock () in
+    let t0 = Lw_obs.Clock.now c in
+    let share = f () in
+    Lw_obs.Metrics.observe t.shard_hist.(i) (Lw_obs.Clock.now c -. t0);
+    share
+  end
+  else f ()
+
 let answer t k =
   check_key t k;
-  let subs = Lw_dpf.Distributed.split k ~shard_bits:t.shard_bits in
-  combine_shares t (Array.mapi (fun i sub -> Lw_pir.Server.answer t.shards.(i) sub) subs)
+  Lw_obs.Span.with_ ~name:"zltp.frontend.answer" (fun () ->
+      let subs = Lw_dpf.Distributed.split k ~shard_bits:t.shard_bits in
+      let shares =
+        Array.mapi
+          (fun i sub -> timed_shard t i (fun () -> Lw_pir.Server.answer t.shards.(i) sub))
+          subs
+      in
+      Lw_obs.Metrics.incr m_answers;
+      combine_shares t shares)
 
 let answer_result t k =
-  match check_down t with Error _ as e -> e | Ok () -> Ok (answer t k)
+  match check_down t with
+  | Error _ as e ->
+      Lw_obs.Metrics.incr m_refusals;
+      e
+  | Ok () -> Ok (answer t k)
 
 (* Batched private-GET across the shard fleet: split every query's key
    once, then hand each shard the whole batch of its sub-keys so it runs
@@ -100,41 +142,53 @@ let answer_batch t keys =
   Array.iter (check_key t) keys;
   let n = Array.length keys in
   if n = 0 then [||]
-  else begin
-    let subs = Array.map (fun k -> Lw_dpf.Distributed.split k ~shard_bits:t.shard_bits) keys in
-    let by_shard =
-      Array.mapi
-        (fun s shard -> Lw_pir.Server.answer_batch shard (Array.map (fun sub -> sub.(s)) subs))
-        t.shards
-    in
-    Array.init n (fun q -> combine_shares t (Array.map (fun shares -> shares.(q)) by_shard))
-  end
+  else
+    Lw_obs.Span.with_ ~name:"zltp.frontend.answer_batch" (fun () ->
+        let subs =
+          Array.map (fun k -> Lw_dpf.Distributed.split k ~shard_bits:t.shard_bits) keys
+        in
+        let by_shard =
+          Array.mapi
+            (fun s shard ->
+              timed_shard t s (fun () ->
+                  Lw_pir.Server.answer_batch shard (Array.map (fun sub -> sub.(s)) subs)))
+            t.shards
+        in
+        Lw_obs.Metrics.add m_batch_queries n;
+        Array.init n (fun q -> combine_shares t (Array.map (fun shares -> shares.(q)) by_shard)))
 
 let answer_batch_result t keys =
-  match check_down t with Error _ as e -> e | Ok () -> Ok (answer_batch t keys)
+  match check_down t with
+  | Error _ as e ->
+      Lw_obs.Metrics.incr m_refusals;
+      e
+  | Ok () -> Ok (answer_batch t keys)
 
 type shard_timing = { shard : int; eval_s : float; scan_s : float }
 
 let answer_timed t k =
   check_key t k;
   let subs = Lw_dpf.Distributed.split k ~shard_bits:t.shard_bits in
+  let clock = Lw_obs.Span.clock () in
   let timings = ref [] in
   let shares =
     Array.mapi
       (fun i sub ->
-        (* per-shard wall-clock telemetry, not protocol randomness *)
-        let t0 = Unix.gettimeofday () (* lw-lint: allow nondeterminism *) in
+        let t0 = Lw_obs.Clock.now clock in
         let bits = Lw_pir.Server.eval_bits t.shards.(i) sub in
-        let t1 = Unix.gettimeofday () (* lw-lint: allow nondeterminism *) in
+        let t1 = Lw_obs.Clock.now clock in
         let share = Lw_pir.Server.scan t.shards.(i) bits in
-        let t2 = Unix.gettimeofday () (* lw-lint: allow nondeterminism *) in
+        let t2 = Lw_obs.Clock.now clock in
         timings := { shard = i; eval_s = t1 -. t0; scan_s = t2 -. t1 } :: !timings;
+        Lw_obs.Metrics.observe t.shard_hist.(i) (t2 -. t0);
         share)
       subs
   in
   (combine_shares t shares, List.rev !timings)
 
-let answer_parallel ?num_domains t k =
+type shard_span = { span_shard : int; elapsed_s : float }
+
+let answer_parallel_timed ?num_domains ?fault t k =
   check_key t k;
   let workers =
     match num_domains with
@@ -143,18 +197,44 @@ let answer_parallel ?num_domains t k =
   in
   let subs = Lw_dpf.Distributed.split k ~shard_bits:t.shard_bits in
   let n = Array.length subs in
-  let shares = Array.make n "" in
+  let shares = Array.make n None in
+  let elapsed = Array.make n 0. in
   let next = Atomic.make 0 in
+  let clock = Lw_obs.Span.clock () in
   let worker () =
     let rec go () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
-        shares.(i) <- Lw_pir.Server.answer t.shards.(i) subs.(i);
+        (match fault with Some f -> f i | None -> ());
+        let t0 = Lw_obs.Clock.now clock in
+        let share = Lw_pir.Server.answer t.shards.(i) subs.(i) in
+        elapsed.(i) <- Lw_obs.Clock.now clock -. t0;
+        Lw_obs.Metrics.observe t.shard_hist.(i) elapsed.(i);
+        shares.(i) <- Some share;
         go ()
       end
     in
     go ()
   in
   let domains = List.init (min workers n) (fun _ -> Domain.spawn worker) in
-  List.iter Domain.join domains;
-  combine_shares t shares
+  (* Join every domain before acting on any failure, so a raising worker
+     can neither leak the other domains nor let a partially-filled share
+     array reach the XOR combine below. *)
+  let first_failure =
+    List.fold_left
+      (fun acc d ->
+        match Domain.join d with
+        | () -> acc
+        | exception e -> ( match acc with None -> Some e | Some _ -> acc))
+      None domains
+  in
+  (match first_failure with Some e -> raise e | None -> ());
+  (* unreachable when no worker raised: fetch_and_add hands out each
+     index exactly once and a non-raising worker always stores it *)
+  let all = Array.map (fun s -> Option.get s) shares in
+  Lw_obs.Metrics.incr m_answers;
+  ( combine_shares t all,
+    Array.mapi (fun i e -> { span_shard = i; elapsed_s = e }) elapsed )
+
+let answer_parallel ?num_domains ?fault t k =
+  fst (answer_parallel_timed ?num_domains ?fault t k)

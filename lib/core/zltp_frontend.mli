@@ -61,9 +61,32 @@ val answer_batch : t -> Lw_dpf.Dpf.key array -> string array
 type shard_timing = { shard : int; eval_s : float; scan_s : float }
 
 val answer_timed : t -> Lw_dpf.Dpf.key -> string * shard_timing list
-(** Same, with per-shard wall-clock timings for E7. *)
+(** Same, with per-shard eval/scan timings (read off the span clock, so
+    virtual clocks make them deterministic) for E7. The sequential
+    answer paths also feed the per-shard
+    [zltp.frontend.shardNN.answer_seconds] histograms in {!Lw_obs}. *)
 
-val answer_parallel : ?num_domains:int -> t -> Lw_dpf.Dpf.key -> string
+type shard_span = { span_shard : int; elapsed_s : float }
+(** One shard's total answer time inside a parallel answer. *)
+
+val answer_parallel :
+  ?num_domains:int -> ?fault:(int -> unit) -> t -> Lw_dpf.Dpf.key -> string
 (** Shard answers computed on OCaml domains ([num_domains] defaults to
     [Domain.recommended_domain_count ()]), modelling the paper's fleet of
-    data servers working one request concurrently. *)
+    data servers working one request concurrently. All domains are
+    joined before any worker failure is re-raised — a raising shard can
+    neither leak domains nor let a partial share array be XOR-combined.
+
+    [?fault] is a fault-injection hook for tests and the chaos harness:
+    it runs in the worker just before shard [i] computes, so a rigged
+    shard can raise exactly where a real backend would fail. *)
+
+val answer_parallel_timed :
+  ?num_domains:int ->
+  ?fault:(int -> unit) ->
+  t ->
+  Lw_dpf.Dpf.key ->
+  string * shard_span array
+(** {!answer_parallel} plus per-shard elapsed times (span clock), the
+    parallel counterpart of {!answer_timed} — which the parallel path
+    used to silently lack. *)

@@ -1,15 +1,3 @@
-type t = { now : unit -> float; sleep : float -> unit }
-
-let real () =
-  {
-    (* wall-clock telemetry for backoff pacing, not protocol randomness *)
-    now = (fun () -> Unix.gettimeofday () (* lw-lint: allow nondeterminism *));
-    sleep = (fun d -> if d > 0. then Thread.delay d);
-  }
-
-let virtual_ () =
-  let t = ref 0. in
-  { now = (fun () -> !t); sleep = (fun d -> if d > 0. then t := !t +. d) }
-
-let now c = c.now ()
-let sleep c d = c.sleep d
+(* The clock moved to lib/obs (the observability layer owns time); this
+   shim keeps the historical [Lw_net.Clock] path compiling unchanged. *)
+include Lw_obs.Clock

@@ -1,22 +1,8 @@
-(** A clock the retry/backoff machinery can be parameterised over.
+(** Re-export of {!Lw_obs.Clock}, which now owns the clock abstraction —
+    kept here so existing [Lw_net.Clock] users (retry/backoff, Faulty,
+    the chaos suite) compile unchanged. See [lib/obs/clock.mli] for the
+    full documentation. *)
 
-    Production code uses {!real} (wall clock + [Thread.delay]); tests and
-    the chaos/bench harnesses use {!virtual_}, where [sleep] merely
-    advances a counter — so a client that backs off for seconds of
-    simulated time runs in microseconds of real time, deterministically.
-    The same virtual clock doubles as the latency accumulator for the
-    fault-injection benchmarks (E20). *)
-
-type t = {
-  now : unit -> float; (** seconds; monotonic within one clock *)
-  sleep : float -> unit; (** advance time; negative durations are ignored *)
-}
-
-val real : unit -> t
-(** Wall clock; [sleep] really blocks the calling thread. *)
-
-val virtual_ : unit -> t
-(** Starts at 0; [sleep d] adds [d] to [now] and returns immediately. *)
-
-val now : t -> float
-val sleep : t -> float -> unit
+include module type of struct
+  include Lw_obs.Clock
+end

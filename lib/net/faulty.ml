@@ -71,6 +71,28 @@ let fresh_counters () =
 let total_faults c =
   c.drops + c.duplicates + c.delays + c.truncates + c.corrupts + c.stalls + c.closes
 
+(* Per-wrapper [counters] stay the precise, replayable record a test
+   asserts on; these registry counters mirror them process-wide so a
+   [--metrics] dump shows injected-fault totals across every wrapped
+   endpoint. *)
+let m_passed = Lw_obs.Metrics.counter "net.faulty.passed"
+let m_drop = Lw_obs.Metrics.counter "net.faulty.drop"
+let m_duplicate = Lw_obs.Metrics.counter "net.faulty.duplicate"
+let m_delay = Lw_obs.Metrics.counter "net.faulty.delay"
+let m_truncate = Lw_obs.Metrics.counter "net.faulty.truncate"
+let m_corrupt = Lw_obs.Metrics.counter "net.faulty.corrupt"
+let m_stall = Lw_obs.Metrics.counter "net.faulty.stall"
+let m_close = Lw_obs.Metrics.counter "net.faulty.close"
+
+let note_passed c = c.passed <- c.passed + 1; Lw_obs.Metrics.incr m_passed
+let note_drop c = c.drops <- c.drops + 1; Lw_obs.Metrics.incr m_drop
+let note_duplicate c = c.duplicates <- c.duplicates + 1; Lw_obs.Metrics.incr m_duplicate
+let note_delay c = c.delays <- c.delays + 1; Lw_obs.Metrics.incr m_delay
+let note_truncate c = c.truncates <- c.truncates + 1; Lw_obs.Metrics.incr m_truncate
+let note_corrupt c = c.corrupts <- c.corrupts + 1; Lw_obs.Metrics.incr m_corrupt
+let note_stall c = c.stalls <- c.stalls + 1; Lw_obs.Metrics.incr m_stall
+let note_close c = c.closes <- c.closes + 1; Lw_obs.Metrics.incr m_close
+
 let truncate_msg n msg = String.sub msg 0 (min (max 0 n) (String.length msg))
 
 let corrupt_msg off msg =
@@ -107,31 +129,31 @@ let wrap ?(clock = Clock.virtual_ ()) ?counters schedule (ep : Endpoint.t) =
     incr send_i;
     match f with
     | None ->
-        c.passed <- c.passed + 1;
+        note_passed c;
         ep.Endpoint.send msg
     | Some Drop ->
-        c.drops <- c.drops + 1;
+        note_drop c;
         incr lost_replies
     | Some Duplicate ->
-        c.duplicates <- c.duplicates + 1;
+        note_duplicate c;
         ep.Endpoint.send msg;
         ep.Endpoint.send msg
     | Some (Delay d) ->
-        c.delays <- c.delays + 1;
+        note_delay c;
         Clock.sleep clock d;
         ep.Endpoint.send msg
     | Some (Truncate n) ->
-        c.truncates <- c.truncates + 1;
+        note_truncate c;
         ep.Endpoint.send (truncate_msg n msg)
     | Some (Corrupt off) ->
-        c.corrupts <- c.corrupts + 1;
+        note_corrupt c;
         ep.Endpoint.send (corrupt_msg off msg)
     | Some Stall_close ->
-        c.stalls <- c.stalls + 1;
+        note_stall c;
         incr lost_replies;
         close_after_stall := true
     | Some Close_now ->
-        c.closes <- c.closes + 1;
+        note_close c;
         do_close ();
         raise Endpoint.Closed
   in
@@ -152,31 +174,31 @@ let wrap ?(clock = Clock.virtual_ ()) ?counters schedule (ep : Endpoint.t) =
       incr recv_i;
       match f with
       | None ->
-          c.passed <- c.passed + 1;
+          note_passed c;
           msg
       | Some Drop ->
-          c.drops <- c.drops + 1;
+          note_drop c;
           raise Endpoint.Timeout
       | Some Duplicate ->
-          c.duplicates <- c.duplicates + 1;
+          note_duplicate c;
           Queue.push msg dup_queue;
           msg
       | Some (Delay d) ->
-          c.delays <- c.delays + 1;
+          note_delay c;
           Clock.sleep clock d;
           msg
       | Some (Truncate n) ->
-          c.truncates <- c.truncates + 1;
+          note_truncate c;
           truncate_msg n msg
       | Some (Corrupt off) ->
-          c.corrupts <- c.corrupts + 1;
+          note_corrupt c;
           corrupt_msg off msg
       | Some Stall_close ->
-          c.stalls <- c.stalls + 1;
+          note_stall c;
           do_close ();
           raise Endpoint.Timeout
       | Some Close_now ->
-          c.closes <- c.closes + 1;
+          note_close c;
           do_close ();
           raise Endpoint.Closed
     end

@@ -1,0 +1,28 @@
+(** A clock the retry/backoff machinery and the metrics layer are
+    parameterised over.
+
+    Production code uses {!real} (wall clock + [Thread.delay]); tests and
+    the chaos/bench harnesses use {!virtual_}, where [sleep] merely
+    advances a counter — so a client that backs off for seconds of
+    simulated time runs in microseconds of real time, deterministically.
+    The same virtual clock doubles as the latency accumulator for the
+    fault-injection benchmarks (E20) and drives {!Span} timings in tests.
+
+    This is the only module (besides the entropy seeding in
+    [lib/crypto/drbg.ml]) allowed to read the wall clock directly; the
+    [raw-timestamp] lint rule makes any other [Unix.gettimeofday] in
+    [lib/] a build failure. *)
+
+type t = {
+  now : unit -> float; (** seconds; monotonic within one clock *)
+  sleep : float -> unit; (** advance time; negative durations are ignored *)
+}
+
+val real : unit -> t
+(** Wall clock; [sleep] really blocks the calling thread. *)
+
+val virtual_ : unit -> t
+(** Starts at 0; [sleep d] adds [d] to [now] and returns immediately. *)
+
+val now : t -> float
+val sleep : t -> float -> unit

@@ -49,6 +49,12 @@ let block_bits_for t =
   let rec fit b = if b >= d || (1 lsl (b + 1)) * bucket > block_bytes then b else fit (b + 1) in
   fit 0
 
+(* Registry counters: one increment + one add per answer, so the fused
+   scan stays within the E21 overhead budget (<2%). *)
+let m_answers = Lw_obs.Metrics.counter "pir.server.answers"
+let m_batches = Lw_obs.Metrics.counter "pir.server.batch_answers"
+let m_scan_bytes = Lw_obs.Metrics.counter "pir.server.scan_bytes"
+
 (* Eval↔scan fusion: each block of DPF leaf bits is XOR-consumed against
    the matching database block the moment the traversal produces it — no
    full-domain bits buffer, one pass over the data, per-block bounds
@@ -58,6 +64,8 @@ let answer t k =
   let acc = Bytes.make (Bucket_db.bucket_size t.db) '\x00' in
   Lw_dpf.Dpf.eval_bits_blocked k ~block_bits:(block_bits_for t) (fun base bits count ->
       Bucket_db.xor_block_into_masked t.db ~base ~count ~bits ~bits_pos:0 ~dst:acc);
+  Lw_obs.Metrics.incr m_answers;
+  Lw_obs.Metrics.add m_scan_bytes (Bucket_db.total_bytes t.db);
   Bytes.unsafe_to_string acc
 
 (* Bit-packed batching: up to 8 queries' selection bits share one byte
@@ -99,6 +107,10 @@ let answer_batch t keys =
       done;
       base := stop
     done;
+    Lw_obs.Metrics.incr m_batches;
+    Lw_obs.Metrics.add m_answers n;
+    (* the batch streams the database once per pack, not once per query *)
+    Lw_obs.Metrics.add m_scan_bytes (n_packs * Bucket_db.total_bytes t.db);
     Array.map Bytes.unsafe_to_string accs
   end
 

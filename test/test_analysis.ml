@@ -133,6 +133,32 @@ let test_rule_nondeterminism () =
   Alcotest.(check int) "bench exempt" 0
     (count_rule "nondeterminism" (findings_for ~path:"bench/fixture.ml" bad))
 
+let test_rule_raw_timestamp () =
+  (* anywhere in lib/ a raw wall-clock read is an error, not a pragma *)
+  let bad = "let t0 = Unix.gettimeofday ()" in
+  Alcotest.(check int) "gettimeofday caught" 1
+    (count_rule "raw-timestamp" (findings_for ~path:"lib/core/fixture.ml" bad));
+  Alcotest.(check int) "Sys.time caught" 1
+    (count_rule "raw-timestamp"
+       (findings_for ~path:"lib/pir/fixture.ml" "let t = Sys.time ()"));
+  Alcotest.(check int) "Unix.time caught" 1
+    (count_rule "raw-timestamp"
+       (findings_for ~path:"lib/net/fixture.ml" "let t = Unix.time ()"));
+  let good = "let t0 = Lw_obs.Clock.now (Lw_obs.Span.clock ())" in
+  Alcotest.(check int) "obs clock clean" 0
+    (count_rule "raw-timestamp" (findings_for ~path:"lib/core/fixture.ml" good));
+  (* the structural exemptions: the obs layer itself, the clock shim,
+     and the entropy/determinism modules *)
+  Alcotest.(check int) "lib/obs exempt" 0
+    (count_rule "raw-timestamp" (findings_for ~path:"lib/obs/clock.ml" bad));
+  Alcotest.(check int) "net clock shim exempt" 0
+    (count_rule "raw-timestamp" (findings_for ~path:"lib/net/clock.ml" bad));
+  Alcotest.(check int) "drbg seeding exempt" 0
+    (count_rule "raw-timestamp" (findings_for ~path:"lib/crypto/drbg.ml" bad));
+  (* bench/bin are out of scope: the rule pins lib/ to virtual clocks *)
+  Alcotest.(check int) "bench out of scope" 0
+    (count_rule "raw-timestamp" (findings_for ~path:"bench/fixture.ml" bad))
+
 let test_rule_key_print () =
   let bad = "let dump key = Printf.printf \"%s\" key" in
   Alcotest.(check int) "printf caught" 1 (count_rule "key-print" (findings_for bad));
@@ -338,6 +364,7 @@ let () =
           Alcotest.test_case "ct-equality" `Quick test_rule_ct_equality;
           Alcotest.test_case "secret-branch" `Quick test_rule_secret_branch;
           Alcotest.test_case "nondeterminism" `Quick test_rule_nondeterminism;
+          Alcotest.test_case "raw-timestamp" `Quick test_rule_raw_timestamp;
           Alcotest.test_case "key-print" `Quick test_rule_key_print;
           Alcotest.test_case "server-abort" `Quick test_rule_server_abort;
           Alcotest.test_case "unbounded-wait" `Quick test_rule_unbounded_wait;
