@@ -952,17 +952,17 @@ let e20_chaos_tail_latency ?(write_json = true) () =
         (fun () ->
           match ep.Lw_net.Endpoint.recv () with
           | msg ->
-              Lw_net.Clock.sleep clock rtt_s;
+              Lw_obs.Clock.sleep clock rtt_s;
               msg
           | exception Lw_net.Endpoint.Timeout ->
-              Lw_net.Clock.sleep clock timeout_s;
+              Lw_obs.Clock.sleep clock timeout_s;
               raise Lw_net.Endpoint.Timeout);
     }
   in
   (* [dead_first] prepends a permanently unreachable replica to role 0,
      so every dial walks past it — the kill-one-replica failover run *)
   let run_world ~label ~rate ~dead_first =
-    let clock = Lw_net.Clock.virtual_ () in
+    let clock = Lw_obs.Clock.virtual_ () in
     let dials = Array.make_matrix 2 2 0 in
     let mk_replica role i =
       Lightweb.Zltp_client.replica
@@ -1001,11 +1001,11 @@ let e20_chaos_tail_latency ?(write_json = true) () =
         let errors = ref 0 in
         for i = 0 to ops - 1 do
           let idx = (i * 37 + 11) mod (1 lsl domain_bits) in
-          let t0 = Lw_net.Clock.now clock in
+          let t0 = Lw_obs.Clock.now clock in
           (match Lightweb.Zltp_client.get_raw_index client idx with
           | Ok b -> assert (String.equal b (Lw_pir.Bucket_db.get db idx))
           | Error _ -> incr errors);
-          lat.(i) <- (Lw_net.Clock.now clock -. t0) *. 1000.
+          lat.(i) <- (Lw_obs.Clock.now clock -. t0) *. 1000.
         done;
         let retries = Lightweb.Zltp_client.retries client in
         let failovers = Lightweb.Zltp_client.failovers client in
@@ -1219,6 +1219,207 @@ let e21_obs_overhead ?(write_json = true) ?geometry () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E22: publisher updates while serving (epoch-versioned store)        *)
+(* ------------------------------------------------------------------ *)
+
+(* The epoch engine's two promises, measured. (1) Sealing a low-churn
+   epoch copies only its dirty copy-on-write blocks: at 1% churn the
+   publish must cost <5% of a full database copy, which is what makes
+   continuous publishing affordable (the cost model's update-bandwidth
+   term predicts the same ratio analytically — both are printed). (2)
+   Query latency holds while a publisher seals epochs underneath the
+   readers, because every answer pins an immutable snapshot instead of
+   locking the store: p99 with a concurrent sealer must stay within
+   1.5x the quiet baseline. *)
+let e22_store_updates ?(write_json = true) () =
+  section "E22" "publisher updates while serving (epoch-versioned store)";
+  let domain_bits, bucket_size = if fast then (10, 1024) else (12, 4096) in
+  let size = 1 lsl domain_bits in
+  (* Block size is the CoW-granularity knob: with uniform churn c a
+     block of b buckets is dirtied with probability 1-(1-c)^b, so the
+     publish cost only stays proportional to churn while c·b << 1.
+     Serve-side cost is unaffected — the scan kernels split bucket runs
+     at block boundaries whatever the block size — so E22 runs the
+     engine at 4 buckets/block, the regime a churn-sensitive deployment
+     would pick, rather than the 256 KiB streaming default. *)
+  let st = Lw_store.create ~block_bytes:(4 * bucket_size) ~domain_bits ~bucket_size () in
+  let fill = Lw_store.writer st in
+  let r0 = det "e22-fill" in
+  for i = 0 to size - 1 do
+    Lw_store.Writer.set fill i (Lw_util.Det_rng.bytes r0 bucket_size)
+  done;
+  ignore (Lw_store.Writer.seal fill);
+  let total = Lw_store.total_bytes st in
+  let db_mb = float_of_int total /. 1048576. in
+  row "geometry: 2^%d buckets x %d B = %.1f MiB, %d B CoW blocks (%d buckets/block)\n\n"
+    domain_bits bucket_size db_mb (Lw_store.block_bytes st) (Lw_store.block_buckets st);
+  (* --- CoW publish cost vs churn --- *)
+  let ds =
+    {
+      Lw_sim.Cost_model.name = "bench";
+      total_bytes = float_of_int total;
+      pages = float_of_int size;
+      avg_page_bytes = float_of_int bucket_size;
+    }
+  in
+  row "%-8s %-10s %-12s %-12s %-12s %-12s %-10s\n" "churn" "mutations" "dirty blocks"
+    "cow bytes" "measured" "predicted" "seal ms";
+  let gen = ref 0 in
+  let churn_rows =
+    List.map
+      (fun churn ->
+        incr gen;
+        let n_mut = max 1 (int_of_float (Float.round (churn *. float_of_int size))) in
+        let r = det (Printf.sprintf "e22-churn-%d" !gen) in
+        let w = Lw_store.writer st in
+        let (dirty, cow), seal_s =
+          time_once (fun () ->
+              for _ = 1 to n_mut do
+                let i = Lw_util.Det_rng.int r size in
+                Lw_store.Writer.set w i (Lw_util.Det_rng.bytes r bucket_size)
+              done;
+              let dirty = Lw_store.Writer.dirty_blocks w in
+              let cow = Lw_store.Writer.cow_bytes w in
+              ignore (Lw_store.Writer.seal w);
+              (dirty, cow))
+        in
+        let ratio = float_of_int cow /. float_of_int total in
+        let model =
+          Lw_sim.Cost_model.update_estimate ~bucket_bytes:bucket_size
+            ~block_bytes:(Lw_store.block_bytes st) ~churn ds
+        in
+        row "%-8.3f %-10d %-12d %-12d %11.2f%% %11.2f%% %8.2f\n" churn n_mut dirty cow
+          (100. *. ratio)
+          (100. *. model.Lw_sim.Cost_model.cow_ratio)
+          (1000. *. seal_s);
+        (churn, n_mut, dirty, cow, ratio, model.Lw_sim.Cost_model.cow_ratio, seal_s))
+      [ 0.001; 0.01; 0.1 ]
+  in
+  let ratio_at_1pct =
+    List.find_map (fun (c, _, _, _, r, _, _) -> if c = 0.01 then Some r else None) churn_rows
+    |> Option.value ~default:1.
+  in
+  let cow_ok = ratio_at_1pct < 0.05 in
+  row "\n1%% churn seals %.2f%% of the database — %s the <5%% budget\n"
+    (100. *. ratio_at_1pct)
+    (if cow_ok then "within" else "OVER");
+  (* --- serving latency under concurrent sealing --- *)
+  let answers = if fast then 400 else 600 in
+  let drbg = rng () in
+  let keys =
+    Array.init 16 (fun i ->
+        let alpha = (i * 37) land (size - 1) in
+        fst (Lw_dpf.Dpf.gen ~domain_bits ~alpha drbg))
+  in
+  let measure ~updating =
+    let stop = Atomic.make false in
+    let sealed = Atomic.make 0 in
+    let sealer =
+      if not updating then None
+      else
+        Some
+          (Domain.spawn (fun () ->
+               let r = det "e22-sealer" in
+               let n_mut = max 1 (size / 100) in
+               (* pre-generate payloads: the cost under test is the
+                  engine's CoW + seal, not the RNG's allocation rate *)
+               let payloads =
+                 Array.init 8 (fun _ -> Lw_util.Det_rng.bytes r bucket_size)
+               in
+               let g = ref 0 in
+               while not (Atomic.get stop) do
+                 let w = Lw_store.writer st in
+                 for _ = 1 to n_mut do
+                   incr g;
+                   let i = Lw_util.Det_rng.int r size in
+                   Lw_store.Writer.set w i payloads.(!g land 7)
+                 done;
+                 ignore (Lw_store.Writer.seal w);
+                 Atomic.incr sealed;
+                 (* a paced publisher, not a tight seal loop: epochs land
+                    every couple of ms, several per measured answer run *)
+                 Unix.sleepf 0.002
+               done))
+    in
+    let lat = Array.make answers 0. in
+    for i = 0 to answers - 1 do
+      let t0 = Unix.gettimeofday () in
+      let snap = Lw_store.pin_latest st in
+      let srv = Lw_pir.Server.of_snapshot snap in
+      ignore (Lw_pir.Server.answer srv keys.(i land 15));
+      Lw_store.unpin st snap;
+      lat.(i) <- (Unix.gettimeofday () -. t0) *. 1000.
+    done;
+    Atomic.set stop true;
+    Option.iter Domain.join sealer;
+    let p q = Lw_util.Stats.percentile lat q in
+    (p 50., p 99., Atomic.get sealed)
+  in
+  (* warmup both code paths before timing *)
+  ignore (measure ~updating:false);
+  Gc.major ();
+  let base_p50, base_p99, _ = measure ~updating:false in
+  Gc.major ();
+  let upd_p50, upd_p99, sealed = measure ~updating:true in
+  let p99_ratio = if base_p99 > 0. then upd_p99 /. base_p99 else 1. in
+  let lat_ok = p99_ratio <= 1.5 in
+  row "\n%-26s %10s %10s\n" "" "p50 ms" "p99 ms";
+  row "%-26s %10.2f %10.2f\n" "quiet baseline" base_p50 base_p99;
+  row "%-26s %10.2f %10.2f   (%d epochs sealed concurrently)\n" "1%-churn sealer running"
+    upd_p50 upd_p99 sealed;
+  row "p99 under updates is %.2fx baseline — %s the 1.5x budget\n" p99_ratio
+    (if lat_ok then "within" else "OVER");
+  row "epochs now live: [%s] (keep window + pins)\n"
+    (String.concat "; " (List.map string_of_int (Lw_store.live_epochs st)));
+  if write_json then begin
+    let open Json in
+    let j =
+      Obj
+        [
+          ("experiment", String "E22");
+          ("domain_bits", Number (float_of_int domain_bits));
+          ("bucket_size", Number (float_of_int bucket_size));
+          ("db_mib", Number db_mb);
+          ("block_bytes", Number (float_of_int (Lw_store.block_bytes st)));
+          ( "churn",
+            List
+              (List.map
+                 (fun (churn, n_mut, dirty, cow, ratio, model_ratio, seal_s) ->
+                   Obj
+                     [
+                       ("churn", Number churn);
+                       ("mutations", Number (float_of_int n_mut));
+                       ("dirty_blocks", Number (float_of_int dirty));
+                       ("cow_bytes", Number (float_of_int cow));
+                       ("cow_ratio", Number ratio);
+                       ("model_ratio", Number model_ratio);
+                       ("seal_ms", Number (1000. *. seal_s));
+                     ])
+                 churn_rows) );
+          ("cow_ratio_at_1pct", Number ratio_at_1pct);
+          ("cow_within_5pct", Bool cow_ok);
+          ( "serving",
+            Obj
+              [
+                ("answers", Number (float_of_int answers));
+                ("baseline_p50_ms", Number base_p50);
+                ("baseline_p99_ms", Number base_p99);
+                ("updating_p50_ms", Number upd_p50);
+                ("updating_p99_ms", Number upd_p99);
+                ("epochs_sealed", Number (float_of_int sealed));
+                ("p99_ratio", Number p99_ratio);
+                ("within_1_5x", Bool lat_ok);
+              ] );
+        ]
+    in
+    let oc = open_out "BENCH_store.json" in
+    output_string oc (to_string ~pretty:true j);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote BENCH_store.json\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 
 (* `--metrics` (combinable with any mode) ends the run with a Prometheus
    text dump of the whole lw_obs registry — after `--chaos` it shows the
@@ -1242,6 +1443,9 @@ let chaos_only = Array.exists (fun a -> a = "--chaos") Sys.argv
 (* `--obs` runs only E21 and writes BENCH_obs.json *)
 let obs_only = Array.exists (fun a -> a = "--obs") Sys.argv
 
+(* `--store` runs only E22 and writes BENCH_store.json *)
+let store_only = Array.exists (fun a -> a = "--store") Sys.argv
+
 let () =
   if smoke then begin
     Printf.printf "lightweb benchmark harness (--smoke: E19 only, tiny geometry)\n";
@@ -1256,6 +1460,11 @@ let () =
   else if obs_only then begin
     Printf.printf "lightweb benchmark harness (--obs: E21 only)\n";
     e21_obs_overhead ();
+    dump_metrics_if_asked ()
+  end
+  else if store_only then begin
+    Printf.printf "lightweb benchmark harness (--store: E22 only)\n";
+    e22_store_updates ();
     dump_metrics_if_asked ()
   end
   else begin
@@ -1292,6 +1501,7 @@ let () =
   e19_scan_kernels ();
   e20_chaos_tail_latency ();
   e21_obs_overhead ();
+  e22_store_updates ();
   dump_metrics_if_asked ();
   Printf.printf "\nall experiments complete.\n"
   end

@@ -45,6 +45,26 @@ let banned_ident_check ~exact ~prefixes ~msg rule_name ctx tokens =
              Some (finding ctx rule_name line (msg name))
          | _ -> None)
 
+(* [let x = ...] and record fields ([{ f = ...; g = ... }], [{ r with
+   f = ... }]) are binders, not comparisons — walk back over the binding
+   head (identifiers, literals, label punctuation) to tell an [=] used
+   for binding from one used as an operator. *)
+let is_binder tokens i =
+  let rec back j =
+    if j < 0 || i - j > 40 then false
+    else
+      match tokens.(j).Lexer.kind with
+      | Lexer.Keyword ("let" | "and" | "rec" | "val" | "external" | "method"
+                      | "type" | "module" | "with") ->
+          true
+      | Lexer.Op ("{" | ";") -> true
+      | Lexer.Ident _ | Lexer.Num | Lexer.Str | Lexer.Chr | Lexer.Comment _
+      | Lexer.Op (":" | "," | "~" | "?" | "." | "*") ->
+          back (j - 1)
+      | _ -> false
+  in
+  back (i - 1)
+
 (* ------------------------------------------------------------------ *)
 (* Rule 1: constant-time comparisons in crypto/dpf/oram.               *)
 (* ------------------------------------------------------------------ *)
@@ -74,28 +94,12 @@ let ct_equality =
         in
         (* polymorphic =/<> on a secret-flagged identifier: a token-level
            scanner cannot type arbitrary operands, but it can see a flagged
-           name right next to the operator. [let x = ...] is a binder, not
-           a comparison — walk back over the binding head to tell. *)
-        let is_binder i =
-          let rec back j =
-            if j < 0 || i - j > 40 then false
-            else
-              match tokens.(j).Lexer.kind with
-              | Lexer.Keyword ("let" | "and" | "rec" | "val" | "external" | "method"
-                              | "type" | "module") ->
-                  true
-              | Lexer.Ident _ | Lexer.Num | Lexer.Str | Lexer.Chr | Lexer.Comment _
-              | Lexer.Op (":" | "," | "~" | "?" | "." | "*") ->
-                  back (j - 1)
-              | _ -> false
-          in
-          back (i - 1)
-        in
+           name right next to the operator. *)
         let ops = ref [] in
         Array.iteri
           (fun i { Lexer.kind; line } ->
             match kind with
-            | Lexer.Op ("=" | "<>") when not (is_binder i) ->
+            | Lexer.Op ("=" | "<>") when not (is_binder tokens i) ->
                 let neighbor j =
                   if j >= 0 && j < Array.length tokens then
                     match tokens.(j).Lexer.kind with
@@ -114,6 +118,63 @@ let ct_equality =
             | _ -> ())
           tokens;
         named @ List.rev !ops);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rule 1b: no polymorphic compare on structured data in the stores.   *)
+(* ------------------------------------------------------------------ *)
+
+(* Born from a real bug: [Lw_pir.Store.insert] tested a lookup result
+   with [prior = None], i.e. polymorphic equality on an option. That
+   works until the payload type grows something incomparable (a closure,
+   an abstract block) or gets expensive to deep-compare — exactly what
+   happened when buckets moved behind the epoch engine. In lib/pir and
+   lib/store the rule is: [Option.is_none]/[Option.is_some] for option
+   tests, typed [equal] functions otherwise. A token scanner cannot see
+   types, so it flags the two shapes that cover the bug class: a bare
+   polymorphic [compare], and [=]/[<>] with a [None]/[Some] constructor
+   on either side. *)
+let poly_compare =
+  {
+    name = "poly-compare";
+    doc =
+      "lib/{pir,store} must not use polymorphic compare or =/<> against \
+       None/Some: use Option.is_none/is_some or a typed equal";
+    applies = (fun ctx -> in_lib ctx && (has_segment ctx "pir" || has_segment ctx "store"));
+    check =
+      (fun ctx tokens ->
+        let named =
+          banned_ident_check ~exact:[ "compare"; "Stdlib.compare" ] ~prefixes:[]
+            ~msg:(fun name ->
+              Printf.sprintf
+                "polymorphic %s in a store module; use a typed compare function" name)
+            "poly-compare" ctx tokens
+        in
+        let out = ref [] in
+        Array.iteri
+          (fun i { Lexer.kind; line } ->
+            match kind with
+            | Lexer.Op ("=" | "<>") when not (is_binder tokens i) ->
+                let constructor j =
+                  if j >= 0 && j < Array.length tokens then
+                    match tokens.(j).Lexer.kind with
+                    | Lexer.Ident (("None" | "Some") as n) -> Some n
+                    | _ -> None
+                  else None
+                in
+                (match (constructor (i - 1), constructor (i + 1)) with
+                | Some n, _ | None, Some n ->
+                    out :=
+                      finding ctx "poly-compare" line
+                        (Printf.sprintf
+                           "polymorphic comparison against %s; use \
+                            Option.is_none/Option.is_some"
+                           n)
+                      :: !out
+                | None, None -> ())
+            | _ -> ())
+          tokens;
+        named @ List.rev !out);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -223,7 +284,6 @@ let raw_timestamp =
     applies =
       (fun ctx ->
         in_lib ctx && not (has_segment ctx "obs")
-        && ctx.basename <> "clock.ml"
         && ctx.basename <> "det_rng.ml" && ctx.basename <> "drbg.ml");
     check =
       banned_ident_check
@@ -333,8 +393,8 @@ let unbounded_wait =
 
 let all =
   [
-    ct_equality; secret_branch; nondeterminism; raw_timestamp; key_print; server_abort;
-    unbounded_wait;
+    ct_equality; poly_compare; secret_branch; nondeterminism; raw_timestamp; key_print;
+    server_abort; unbounded_wait;
   ]
 
 let by_name name = List.find_opt (fun r -> r.name = name) all

@@ -183,6 +183,81 @@ let check_batch_scan ?(domain_bits = 5) ?(bucket_size = 24)
           end)
 
 (* ------------------------------------------------------------------ *)
+(* CoW snapshot scan vs. flat Bucket_db                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The epoch engine must be invisible to a trace adversary: a scan over
+   a snapshot assembled from several copy-on-write epochs (some blocks
+   freshly copied, some shared with older epochs) has to touch exactly
+   the same buckets in exactly the same order as a scan over a flat
+   database with the same bytes — and return the same share. Build both
+   representations of one logical database, mutating across two sealed
+   epochs so the snapshot genuinely mixes shared and copied blocks, and
+   compare traces and answers for both DPF parties. *)
+let check_snapshot_scan ?(domain_bits = 6) ?(bucket_size = 32) ?(alphas = [ 5; 42 ]) () =
+  let size = 1 lsl domain_bits in
+  let bucket i gen = Printf.sprintf "bucket-%d-gen%d" i gen in
+  (* flat reference *)
+  let db = Lw_pir.Bucket_db.create ~domain_bits ~bucket_size in
+  for i = 0 to size - 1 do
+    Lw_pir.Bucket_db.set db i (bucket i 0)
+  done;
+  (* epoch 1: same full fill; small blocks so the domain spans many CoW
+     blocks and the second epoch leaves most of them shared *)
+  let st =
+    Lw_store.create ~block_bytes:(8 * bucket_size) ~domain_bits ~bucket_size ()
+  in
+  let w1 = Lw_store.writer st in
+  for i = 0 to size - 1 do
+    Lw_store.Writer.set w1 i (bucket i 0)
+  done;
+  ignore (Lw_store.Writer.seal w1);
+  (* epoch 2: sparse churn, mirrored into the flat db *)
+  let w2 = Lw_store.writer st in
+  let rec churn i =
+    if i < size then begin
+      Lw_pir.Bucket_db.set db i (bucket i 1);
+      Lw_store.Writer.set w2 i (bucket i 1);
+      churn (i + 9)
+    end
+  in
+  churn 3;
+  let snap = Lw_store.Writer.seal w2 in
+  let flat_server = Lw_pir.Server.create db in
+  let snap_server = Lw_pir.Server.of_snapshot snap in
+  let rng = Lw_crypto.Drbg.create ~seed:"trace-check-snapshot" in
+  let expected_trace = List.init size Fun.id in
+  let rec check_alphas = function
+    | [] -> Ok ()
+    | alpha :: rest ->
+        let k0, k1 = Lw_dpf.Dpf.gen ~domain_bits ~alpha rng in
+        let rec check_keys = function
+          | [] -> check_alphas rest
+          | k :: more ->
+              Lw_pir.Bucket_db.set_tracing db true;
+              let flat_share = Lw_pir.Server.answer flat_server k in
+              let flat_trace = Lw_pir.Bucket_db.access_trace db in
+              Lw_pir.Bucket_db.set_tracing db false;
+              Lw_store.Snapshot.set_tracing snap true;
+              let snap_share = Lw_pir.Server.answer snap_server k in
+              let snap_trace = Lw_store.Snapshot.access_trace snap in
+              Lw_store.Snapshot.set_tracing snap false;
+              if not (String.equal flat_share snap_share) then
+                err "snapshot share differs from flat share for alpha=%d" alpha
+              else if flat_trace <> expected_trace then
+                err "flat scan trace for alpha=%d is not the full in-order walk" alpha
+              else if snap_trace <> expected_trace then
+                err
+                  "CoW snapshot scan trace for alpha=%d differs from the flat walk: \
+                   the epoch engine leaks"
+                  alpha
+              else check_keys more
+        in
+        check_keys [ k0; k1 ]
+  in
+  check_alphas alphas
+
+(* ------------------------------------------------------------------ *)
 (* Privacy-preserving retry (ZLTP client)                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -214,7 +289,7 @@ let sent_pir_queries log =
        | `Recv _ -> None
        | `Send frame -> (
            match Lightweb.Zltp_wire.decode_client frame with
-           | Ok (Lightweb.Zltp_wire.Pir_query { qid; dpf_key }) ->
+           | Ok (Lightweb.Zltp_wire.Pir_query { qid; epoch = _; dpf_key }) ->
                Some (qid, dpf_key, String.length frame)
            | _ -> None))
 
@@ -229,7 +304,7 @@ let check_retry ?(domain_bits = 6) ?(bucket_size = 32) ?(alpha = 13) () =
   let expected = Lw_pir.Bucket_db.get (make_db ()) alpha in
   let run ~faulted =
     let log0 = ref [] and log1 = ref [] in
-    let clock = Lw_net.Clock.virtual_ () in
+    let clock = Lw_obs.Clock.virtual_ () in
     let replica_of ~log ~schedule name =
       Zltp_client.replica ~name (fun () ->
           let srv =
@@ -313,4 +388,7 @@ let check_all () =
       | Ok () -> (
           match check_batch_scan () with
           | Error _ as e -> e
-          | Ok () -> check_retry ()))
+          | Ok () -> (
+              match check_snapshot_scan () with
+              | Error _ as e -> e
+              | Ok () -> check_retry ())))

@@ -1,6 +1,12 @@
 type site = { domain : string; code : string; pages : (string * Lw_json.Json.t) list }
 
-type push_report = { code_pushed : bool; data_pushed : int; renamed : (string * string) list }
+type push_report = {
+  code_pushed : bool;
+  data_pushed : int;
+  renamed : (string * string) list;
+  code_epoch : int;
+  data_epoch : int;
+}
 
 let page_path site suffix = site.domain ^ suffix
 
@@ -54,7 +60,18 @@ let push ?(rename_on_collision = true) universe ~publisher site =
                 | Error e -> Error e
               in
               let rec push_all count = function
-                | [] -> Ok { code_pushed = true; data_pushed = count; renamed = List.rev !renamed }
+                | [] ->
+                    (* one site push = one mutation batch = one new epoch
+                       per store the push touched *)
+                    let code_epoch, data_epoch = Universe.publish_updates universe in
+                    Ok
+                      {
+                        code_pushed = true;
+                        data_pushed = count;
+                        renamed = List.rev !renamed;
+                        code_epoch;
+                        data_epoch;
+                      }
                 | (suffix, value) :: rest -> (
                     let path = page_path site suffix in
                     match push_page path value 0 with

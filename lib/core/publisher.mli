@@ -12,10 +12,19 @@ val validate : site -> (unit, string) result
 (** Static checks before any upload: domain validity, code parses and
     defines [plan]/[render], suffix shape, duplicate suffixes. *)
 
-type push_report = { code_pushed : bool; data_pushed : int; renamed : (string * string) list }
+type push_report = {
+  code_pushed : bool;
+  data_pushed : int;
+  renamed : (string * string) list;
+  code_epoch : int;
+  data_epoch : int;
+}
 (** [renamed] records pages that hit an index collision and were stored
     under an alternative name ([old_path, new_path]) — the paper's
-    "publisher can simply select another key name" recovery. *)
+    "publisher can simply select another key name" recovery.
+    [code_epoch]/[data_epoch] are the storage epochs this push sealed:
+    a push is one atomic mutation batch, and these are the epochs at
+    which its content became visible to PIR servers. *)
 
 val push :
   ?rename_on_collision:bool ->

@@ -145,11 +145,21 @@ let code_count t = Lw_pir.Store.count t.code_store
 let code_source t domain = Lw_pir.Store.find t.code_store domain
 let data_value t path = Lw_pir.Store.find t.data_store path
 
+(* Seal whatever the publishers have pushed so far, so both logical
+   servers of a pair serve from the same published epoch; returns the
+   (code, data) epochs now current. *)
+let publish_updates t =
+  ( Lw_store.Snapshot.epoch (Lw_pir.Store.publish t.code_store),
+    Lw_store.Snapshot.epoch (Lw_pir.Store.publish t.data_store) )
+
 let pir_server t ~which store hash_key blob_size =
+  (* publish pending mutations first: a server must never see the
+     uncommitted batch, only sealed epochs *)
+  ignore (Lw_pir.Store.publish store);
   Zltp_server.create
     ~server_id:(Printf.sprintf "%s/%s" t.name which)
     ~hash_key ~blob_size
-    (Zltp_server.Pir_flat (Lw_pir.Server.create (Lw_pir.Store.db store)))
+    (Zltp_server.Pir_versioned (Lw_pir.Store.engine store))
 
 let code_servers t =
   ( pir_server t ~which:"code-0" t.code_store t.code_hash_key t.geometry.code_blob_size,
@@ -160,12 +170,13 @@ let data_servers t =
     pir_server t ~which:"data-1" t.data_store t.data_hash_key t.geometry.data_blob_size )
 
 let sharded_data_servers t ~shard_bits =
+  ignore (Lw_pir.Store.publish t.data_store);
   let mk which =
     Zltp_server.create
       ~server_id:(Printf.sprintf "%s/%s" t.name which)
       ~hash_key:t.data_hash_key ~blob_size:t.geometry.data_blob_size
       (Zltp_server.Pir_sharded
-         (Zltp_frontend.of_db (Lw_pir.Store.db t.data_store) ~shard_bits))
+         (Zltp_frontend.of_store (Lw_pir.Store.engine t.data_store) ~shard_bits))
   in
   (mk "data-sharded-0", mk "data-sharded-1")
 

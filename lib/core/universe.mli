@@ -61,6 +61,13 @@ val push_data :
 
 val remove_data : t -> publisher:string -> path:string -> (bool, string) result
 
+val publish_updates : t -> int * int
+(** Seal every pending code/data mutation as new storage epochs — the
+    atomic point at which pushed updates become visible to PIR servers —
+    and return the now-current [(code_epoch, data_epoch)]. A no-op pair
+    of current epochs when nothing is pending. Queries pinned to earlier
+    epochs keep being answered from those epochs' snapshots. *)
+
 val page_count : t -> int
 val code_count : t -> int
 

@@ -131,6 +131,9 @@ let import v =
               | Some publisher -> Universe.push_data u ~publisher ~path ~value))
         data
     in
+    (* the whole import is one mutation batch: seal it as a single epoch
+       rather than leaving it pending *)
+    ignore (Universe.publish_updates u);
     Ok u
   end
 

@@ -35,7 +35,7 @@ type params = {
   hash_key : string;
 }
 
-type session = { ep : Lw_net.Endpoint.t; replica_name : string }
+type session = { ep : Lw_net.Endpoint.t; replica_name : string; mutable epoch : int }
 
 type role = {
   replicas : replica array;
@@ -48,13 +48,19 @@ type t = {
   prefer : Zltp_mode.t list;
   rng : Lw_crypto.Drbg.t;
   policy : policy;
-  clock : Lw_net.Clock.t;
+  clock : Lw_obs.Clock.t;
   mutable params : params option;
   mutable keymap : Lw_pir.Keymap.t option;
   mutable next_qid : int;
   mutable queries : int;
   mutable retries : int;
   mutable failovers : int;
+  (* epoch the next PIR query names; pinned for the whole of a page visit
+     ([begin_visit]/[end_visit]) so one page never mixes epochs *)
+  mutable epoch : int option;
+  mutable visit : bool;
+  mutable resync_needed : bool;
+  mutable resyncs : int;
 }
 
 let params_exn t =
@@ -66,6 +72,20 @@ let domain_bits t = (params_exn t).domain_bits
 let queries_sent t = t.queries
 let retries t = t.retries
 let failovers t = t.failovers
+let epoch_resyncs t = t.resyncs
+let current_epoch t = t.epoch
+
+(* Page-visit epoch pinning: every fetch of one page (document, then
+   subresources) names the same epoch, so a page can neither mix record
+   versions nor — the side channel — have a mid-visit publisher update
+   make its fetch pattern diverge across the two servers. *)
+let begin_visit t =
+  t.visit <- true;
+  t.epoch <- None
+
+let end_visit t =
+  t.visit <- false;
+  t.epoch <- None
 
 (* qids are plain session-local sequence numbers: public metadata, never
    derived from request contents. 0 is reserved for "no specific query". *)
@@ -114,20 +134,24 @@ let recv_matching ep ~qid =
 
 (* ---- dialing ---- *)
 
+(* Returns the replica's announced epoch on success. The epoch is
+   deliberately NOT part of the parameter-agreement check: replicas of a
+   live universe legitimately sit at different epochs for a while — the
+   per-query epoch match (and re-sync) handles that, not the handshake. *)
 let check_params t (w : Zltp_wire.server_msg) =
   match w with
-  | Zltp_wire.Welcome { mode; domain_bits; blob_size; hash_key; _ } -> (
+  | Zltp_wire.Welcome { mode; domain_bits; blob_size; hash_key; epoch; _ } -> (
       match t.params with
       | None ->
           t.params <- Some { mode; domain_bits; blob_size; hash_key };
           if mode = Zltp_mode.Pir2 then
             t.keymap <- Some (Lw_pir.Keymap.create ~hash_key ~domain_bits);
-          Ok ()
+          Ok epoch
       | Some p ->
           if
             p.mode = mode && p.domain_bits = domain_bits && p.blob_size = blob_size
             && String.equal p.hash_key hash_key
-          then Ok ()
+          then Ok epoch
           else Error "replica disagrees on session parameters")
   | _ -> Error "protocol violation: expected Welcome"
 
@@ -170,7 +194,7 @@ let dial_replica t (r : replica) =
                   | Ok (Zltp_wire.Err { message; _ }) -> give_up ("server refused: " ^ message)
                   | Ok w -> (
                       match check_params t w with
-                      | Ok () -> Ok { ep; replica_name = r.name }
+                      | Ok epoch -> Ok { ep; replica_name = r.name; epoch }
                       | Error e -> give_up e)))
           | Ok _ -> give_up "protocol violation: expected Health_reply"))
 
@@ -204,6 +228,7 @@ let role_session t role =
 let m_queries = Lw_obs.Metrics.counter "zltp.client.queries"
 let m_retries = Lw_obs.Metrics.counter "zltp.client.retries"
 let m_failovers = Lw_obs.Metrics.counter "zltp.client.failovers"
+let m_resyncs = Lw_obs.Metrics.counter "zltp.client.epoch_resyncs"
 let m_backoff = Lw_obs.Metrics.histogram "zltp.client.backoff_seconds"
 
 (* Tear down a role's connection after a failure and point its cursor at
@@ -229,7 +254,7 @@ let backoff_duration t ~attempt =
   b *. (0.5 +. 0.5 *. (float_of_int (Lw_crypto.Drbg.uniform_int t.rng 1024) /. 1024.))
 
 let with_retry t op =
-  let start = Lw_net.Clock.now t.clock in
+  let start = Lw_obs.Clock.now t.clock in
   let rec go attempt =
     match op () with
     | Ok v -> Ok v
@@ -239,14 +264,14 @@ let with_retry t op =
           Error (Printf.sprintf "%s (after %d attempts)" e (attempt + 1))
         else begin
           let pause = backoff_duration t ~attempt in
-          let elapsed = Lw_net.Clock.now t.clock -. start in
+          let elapsed = Lw_obs.Clock.now t.clock -. start in
           if elapsed +. pause >= t.policy.deadline_s then
             Error (Printf.sprintf "%s (deadline exceeded)" e)
           else begin
             t.retries <- t.retries + 1;
             Lw_obs.Metrics.incr m_retries;
             Lw_obs.Metrics.observe m_backoff pause;
-            Lw_net.Clock.sleep t.clock pause;
+            Lw_obs.Clock.sleep t.clock pause;
             go (attempt + 1)
           end
         end
@@ -258,7 +283,7 @@ let with_retry t op =
 let connect_replicated ?(prefer = [ Zltp_mode.Pir2; Zltp_mode.Enclave ]) ?rng
     ?(policy = default_policy) ?clock role_replicas =
   let rng = match rng with Some r -> r | None -> Lw_crypto.Drbg.system () in
-  let clock = match clock with Some c -> c | None -> Lw_net.Clock.real () in
+  let clock = match clock with Some c -> c | None -> Lw_obs.Clock.real () in
   if policy.attempts < 1 then Error "policy.attempts must be >= 1"
   else if List.exists (fun rs -> rs = []) role_replicas then
     Error "every role needs at least one replica"
@@ -282,6 +307,10 @@ let connect_replicated ?(prefer = [ Zltp_mode.Pir2; Zltp_mode.Enclave ]) ?rng
         queries = 0;
         retries = 0;
         failovers = 0;
+        epoch = None;
+        visit = false;
+        resync_needed = false;
+        resyncs = 0;
       }
     in
     let rec dial_all i =
@@ -329,10 +358,68 @@ let role_err t role = function
       Error e
   | (Error (`Fatal _) | Ok _) as r -> r
 
-let expect_share t role = function
-  | Ok (Zltp_wire.Answer { share; _ }) -> Ok share
+(* ---- epoch re-sync ----
+
+   An epoch error (or a reply tagged with an unexpected epoch) means the
+   client's idea of the common epoch is stale — not that the connection
+   is broken. The reaction is a [Sync] round on both roles to re-learn
+   each replica's published epoch; if they diverge, the role on the
+   lower (stale) epoch is failed over, so the retry can land on an
+   up-to-date replica of that role. The stale attempt itself is
+   [`Transient], riding the existing retry/backoff loop. *)
+
+let note_epoch_trouble t =
+  t.epoch <- None;
+  t.resync_needed <- true
+
+let sync_session t role (s : session) =
+  let qid = fresh_qid t in
+  match send_msg s.ep (Zltp_wire.Sync { qid }) with
+  | Error _ ->
+      fail_role t role;
+      None
+  | Ok () -> (
+      match recv_matching s.ep ~qid with
+      | Ok (Zltp_wire.Sync_reply { epoch; _ }) ->
+          s.epoch <- epoch;
+          Some epoch
+      | Ok _ | Error _ ->
+          fail_role t role;
+          None)
+
+let resync t =
+  t.resync_needed <- false;
+  t.epoch <- None;
+  t.resyncs <- t.resyncs + 1;
+  Lw_obs.Metrics.incr m_resyncs;
+  if Array.length t.roles = 2 then begin
+    let probe role = Option.bind role.session (fun s -> sync_session t role s) in
+    match (probe t.roles.(0), probe t.roles.(1)) with
+    | Some a, Some b when a < b -> fail_role t t.roles.(0)
+    | Some a, Some b when b < a -> fail_role t t.roles.(1)
+    | _ -> ()
+  end
+
+let epoch_error code =
+  code = Zltp_wire.err_epoch_retired || code = Zltp_wire.err_epoch_ahead
+
+let expect_share t role ~epoch = function
+  | Ok (Zltp_wire.Answer { epoch = e; share; _ }) ->
+      if e <> epoch then begin
+        (* never XOR a share from the wrong epoch — not even with a
+           matching qid: drop it and re-sync *)
+        note_epoch_trouble t;
+        transient (Printf.sprintf "answer epoch %d, queried %d" e epoch)
+      end
+      else Ok share
   | Ok (Zltp_wire.Err { code; message; _ }) ->
-      if code = Zltp_wire.err_degraded || code = Zltp_wire.err_internal then
+      if epoch_error code then begin
+        (* the session is healthy, the epoch was just stale/early: no
+           fail_role — re-sync decides which side (if any) to abandon *)
+        note_epoch_trouble t;
+        transient message
+      end
+      else if code = Zltp_wire.err_degraded || code = Zltp_wire.err_internal then
         role_err t role (transient message)
       else fatal message
   | Ok _ -> role_err t role (transient "protocol violation: expected Answer")
@@ -357,30 +444,52 @@ let pir_sessions t =
       | Error e, _ | _, Error e -> transient e)
   | _ -> fatal "not a PIR session"
 
+(* The epoch the next query names: the pinned one if a visit (or an
+   earlier query of this operation) pinned it, else the highest epoch
+   both sessions can serve — their minimum, since a freshly sealed epoch
+   reaches the replicas at different times. *)
+let query_epoch t (s0 : session) (s1 : session) =
+  match t.epoch with
+  | Some e -> e
+  | None ->
+      let e = min s0.epoch s1.epoch in
+      t.epoch <- Some e;
+      e
+
 let pir_attempt t index =
+  if t.resync_needed then resync t;
   match pir_sessions t with
   | Error _ as e -> e
   | Ok ((role0, s0), (role1, s1)) -> (
       let qid = fresh_qid t in
+      let epoch = query_epoch t s0 s1 in
       let key0, key1 =
         Lw_dpf.Dpf.gen ~domain_bits:(params_exn t).domain_bits ~alpha:index t.rng
       in
-      let q k = Zltp_wire.Pir_query { qid; dpf_key = Lw_dpf.Dpf.serialize k } in
+      let q k = Zltp_wire.Pir_query { qid; epoch; dpf_key = Lw_dpf.Dpf.serialize k } in
       let sent0 = role_err t role0 (send_msg s0.ep (q key0)) in
       let sent1 = role_err t role1 (send_msg s1.ep (q key1)) in
       match (sent0, sent1) with
       | Ok (), Ok () -> (
-          let r0 = expect_share t role0 (recv_matching s0.ep ~qid) in
-          let r1 = expect_share t role1 (recv_matching s1.ep ~qid) in
+          let r0 = expect_share t role0 ~epoch (recv_matching s0.ep ~qid) in
+          let r1 = expect_share t role1 ~epoch (recv_matching s1.ep ~qid) in
           match (r0, r1) with
           | Ok share0, Ok share1 ->
+              (* both shares verified to carry the queried epoch, so the
+                 XOR below is over bit-identical databases by construction *)
               t.queries <- t.queries + 1;
               Lw_obs.Metrics.incr m_queries;
               Ok (Lw_pir.Client.combine ~resp0:share0 ~resp1:share1)
           | _ -> first_error [ r0; r1 ])
       | _ -> first_error [ sent0; sent1 ])
 
-let pir_fetch_index t index = with_retry t (fun () -> pir_attempt t index)
+(* Outside a visit each operation re-learns the freshest common epoch;
+   inside one the first query pins it until [end_visit]. *)
+let fresh_op_epoch t = if not t.visit then t.epoch <- None
+
+let pir_fetch_index t index =
+  fresh_op_epoch t;
+  with_retry t (fun () -> pir_attempt t index)
 
 let get_raw_index t index =
   match (params_exn t).mode with
@@ -421,23 +530,33 @@ let get t key =
       | Error e -> Error e)
   | Zltp_mode.Enclave -> with_retry t (fun () -> enclave_attempt t key)
 
-let expect_batch t role n = function
-  | Ok (Zltp_wire.Batch_answer { shares; _ }) ->
-      if List.length shares <> n then
+let expect_batch t role ~epoch n = function
+  | Ok (Zltp_wire.Batch_answer { epoch = e; shares; _ }) ->
+      if e <> epoch then begin
+        note_epoch_trouble t;
+        transient (Printf.sprintf "batch answer epoch %d, queried %d" e epoch)
+      end
+      else if List.length shares <> n then
         role_err t role (transient "batch answer length mismatch")
       else Ok shares
   | Ok (Zltp_wire.Err { code; message; _ }) ->
-      if code = Zltp_wire.err_degraded || code = Zltp_wire.err_internal then
+      if epoch_error code then begin
+        note_epoch_trouble t;
+        transient message
+      end
+      else if code = Zltp_wire.err_degraded || code = Zltp_wire.err_internal then
         role_err t role (transient message)
       else fatal message
   | Ok _ -> role_err t role (transient "protocol violation: expected Batch_answer")
   | Error _ as e -> role_err t role e
 
 let pir_batch_attempt t indexed_keys =
+  if t.resync_needed then resync t;
   match pir_sessions t with
   | Error _ as e -> e
   | Ok ((role0, s0), (role1, s1)) -> (
       let qid = fresh_qid t in
+      let epoch = query_epoch t s0 s1 in
       let db = (params_exn t).domain_bits in
       let pairs =
         List.map (fun (key, index) -> (key, Lw_dpf.Dpf.gen ~domain_bits:db ~alpha:index t.rng))
@@ -445,15 +564,15 @@ let pir_batch_attempt t indexed_keys =
       in
       let batch which =
         Zltp_wire.Pir_batch
-          { qid; dpf_keys = List.map (fun (_, ks) -> Lw_dpf.Dpf.serialize (which ks)) pairs }
+          { qid; epoch; dpf_keys = List.map (fun (_, ks) -> Lw_dpf.Dpf.serialize (which ks)) pairs }
       in
       let n = List.length indexed_keys in
       let sent0 = role_err t role0 (send_msg s0.ep (batch fst)) in
       let sent1 = role_err t role1 (send_msg s1.ep (batch snd)) in
       match (sent0, sent1) with
       | Ok (), Ok () -> (
-          let r0 = expect_batch t role0 n (recv_matching s0.ep ~qid) in
-          let r1 = expect_batch t role1 n (recv_matching s1.ep ~qid) in
+          let r0 = expect_batch t role0 ~epoch n (recv_matching s0.ep ~qid) in
+          let r1 = expect_batch t role1 ~epoch n (recv_matching s1.ep ~qid) in
           match (r0, r1) with
           | Ok shares0, Ok shares1 ->
               t.queries <- t.queries + n;
@@ -479,6 +598,7 @@ let get_batch t keys =
   | Zltp_mode.Pir2 ->
       let keymap = Option.get t.keymap in
       let indexed = List.map (fun k -> (k, Lw_pir.Keymap.index_of_key keymap k)) keys in
+      fresh_op_epoch t;
       with_retry t (fun () -> pir_batch_attempt t indexed)
 
 let close t =

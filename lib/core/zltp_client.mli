@@ -55,7 +55,7 @@ val connect_replicated :
   ?prefer:Zltp_mode.t list ->
   ?rng:Lw_crypto.Drbg.t ->
   ?policy:policy ->
-  ?clock:Lw_net.Clock.t ->
+  ?clock:Lw_obs.Clock.t ->
   replica list list ->
   (t, string) result
 (** [connect_replicated roles] — one replica list per logical server role
@@ -69,7 +69,7 @@ val connect :
   ?prefer:Zltp_mode.t list ->
   ?rng:Lw_crypto.Drbg.t ->
   ?policy:policy ->
-  ?clock:Lw_net.Clock.t ->
+  ?clock:Lw_obs.Clock.t ->
   Lw_net.Endpoint.t list ->
   (t, string) result
 (** [connect endpoints] — each endpoint becomes a single-replica role
@@ -96,6 +96,31 @@ val get_batch : t -> string list -> (string option list, string) result
 (** Batched private-GETs (one round trip, server-side fused scan). A
     retried batch regenerates {e all} its DPF keys. *)
 
+(** {2 Epochs and page visits}
+
+    Since wire v3, every PIR query names the database epoch it must be
+    answered against (learned from [Welcome], re-learned via [Sync]),
+    and the client refuses to XOR shares tagged with any other epoch —
+    so two-server reconstruction is consistent {e by construction} even
+    while publishers seal new epochs. Epoch trouble (a reply from the
+    wrong epoch, [err_epoch_retired], [err_epoch_ahead]) triggers a
+    re-sync on both roles — failing over whichever role's replica lags —
+    and rides the normal retry loop. *)
+
+val begin_visit : t -> unit
+(** Pin the epoch for a multi-fetch page visit: from the next query to
+    {!end_visit}, every fetch names the same epoch. One page therefore
+    never mixes record versions, and a mid-visit publisher update cannot
+    make the page's fetch pattern diverge between the two servers (a
+    fingerprinting channel; see SECURITY.md). *)
+
+val end_visit : t -> unit
+(** Release the visit pin; the next operation re-learns the freshest
+    common epoch. *)
+
+val current_epoch : t -> int option
+(** The epoch the next query would name, if one is currently pinned. *)
+
 (** {2 Introspection} *)
 
 val queries_sent : t -> int
@@ -105,6 +130,9 @@ val retries : t -> int
 
 val failovers : t -> int
 (** Times a role's preferred replica was abandoned for the next one. *)
+
+val epoch_resyncs : t -> int
+(** Times an epoch error forced a [Sync] round. *)
 
 val current_replicas : t -> string option list
 (** Per role, the name of the replica currently connected (if any). *)

@@ -4,6 +4,11 @@ type t = {
   bucket_size : int;
   shards : Lw_pir.Server.t array;
   down : bool array;
+  epochs : int array;
+      (* which store epoch each shard's copy reflects: answers may only be
+         combined while every shard sits at the same epoch *)
+  mutable pinned : (Lw_store.t * Lw_store.Snapshot.t) option;
+      (* the engine snapshot the shard copies were refreshed from last *)
   shard_hist : Lw_obs.Metrics.histogram array;
       (* per-shard answer latency; shared by name across front-ends of the
          same width, which is what an operator wants from a process dump *)
@@ -12,7 +17,9 @@ type t = {
 let m_answers = Lw_obs.Metrics.counter "zltp.frontend.answers"
 let m_batch_queries = Lw_obs.Metrics.counter "zltp.frontend.batch_queries"
 let m_refusals = Lw_obs.Metrics.counter "zltp.frontend.degraded_refusals"
+let m_epoch_refusals = Lw_obs.Metrics.counter "zltp.frontend.epoch_refusals"
 let g_shards_down = Lw_obs.Metrics.gauge "zltp.frontend.shards_down"
+let g_epoch = Lw_obs.Metrics.gauge "zltp.frontend.epoch"
 
 let shard_histogram i =
   Lw_obs.Metrics.histogram (Printf.sprintf "zltp.frontend.shard%02d.answer_seconds" i)
@@ -31,6 +38,8 @@ let create ~domain_bits ~shard_bits ~bucket_size =
     bucket_size;
     shards;
     down = Array.make (1 lsl shard_bits) false;
+    epochs = Array.make (1 lsl shard_bits) 0;
+    pinned = None;
     shard_hist = Array.init (1 lsl shard_bits) shard_histogram;
   }
 
@@ -50,6 +59,86 @@ let domain_bits t = t.domain_bits
 let shard_bits t = t.shard_bits
 let shard_count t = Array.length t.shards
 let bucket_size t = t.bucket_size
+
+(* ---- epoch bookkeeping over the versioned engine ---- *)
+
+let announced_epoch t = Array.fold_left max 0 t.epochs
+
+let epoch_agreed t =
+  let e = t.epochs.(0) in
+  if Array.for_all (fun x -> x = e) t.epochs then Some e else None
+
+let set_shard_epoch t i epoch =
+  if i < 0 || i >= Array.length t.shards then invalid_arg "Zltp_frontend.set_shard_epoch";
+  t.epochs.(i) <- epoch;
+  Lw_obs.Metrics.set g_epoch (float_of_int (announced_epoch t))
+
+(* Copy one shard's slice of a snapshot into the shard's flat database:
+   either the whole slice, or only the [ranges] (global bucket runs)
+   intersecting it. *)
+let copy_slice t snap shard ranges =
+  let rem = t.domain_bits - t.shard_bits in
+  let db = Lw_pir.Server.db t.shards.(shard) in
+  let lo = shard lsl rem and hi = (shard + 1) lsl rem in
+  let copy_range base count =
+    let from = max base lo and upto = min (base + count) hi in
+    for global = from to upto - 1 do
+      let local = global land ((1 lsl rem) - 1) in
+      if Lw_store.Snapshot.is_empty snap global then Lw_pir.Bucket_db.clear db local
+      else Lw_pir.Bucket_db.set db local (Lw_store.Snapshot.get snap global)
+    done
+  in
+  (match ranges with
+  | None -> copy_range lo (hi - lo)
+  | Some rs -> List.iter (fun (base, count) -> copy_range base count) rs);
+  t.epochs.(shard) <- Lw_store.Snapshot.epoch snap
+
+let of_store st ~shard_bits =
+  let snap = Lw_store.pin_latest st in
+  let t =
+    create ~domain_bits:(Lw_store.domain_bits st) ~shard_bits
+      ~bucket_size:(Lw_store.bucket_size st)
+  in
+  for shard = 0 to Array.length t.shards - 1 do
+    copy_slice t snap shard None
+  done;
+  t.pinned <- Some (st, snap);
+  Lw_obs.Metrics.set g_epoch (float_of_int (announced_epoch t));
+  t
+
+(* Bring every shard up to the engine's current epoch, copying only the
+   bucket ranges whose CoW blocks actually changed since the epoch the
+   shard last copied ([Snapshot.diff_ranges]); a shard at any other epoch
+   (operator intervention, aborted refresh) is re-copied in full.
+
+   [?abort_after] is a test/chaos hook: stop after updating that many
+   shards, leaving the rest at their old epoch — the mixed-epoch state
+   the answer paths must refuse. The new snapshot replaces the pin either
+   way, so a later refresh full-copies the stragglers (their recorded
+   epoch no longer matches the pinned one). *)
+let refresh ?abort_after t =
+  let st, old_snap =
+    match t.pinned with
+    | Some p -> p
+    | None -> invalid_arg "Zltp_frontend.refresh: front-end not backed by a store"
+  in
+  let snap = Lw_store.pin_latest st in
+  let new_epoch = Lw_store.Snapshot.epoch snap in
+  let old_epoch = Lw_store.Snapshot.epoch old_snap in
+  let diff = lazy (Lw_store.Snapshot.diff_ranges old_snap snap) in
+  let updated = ref 0 in
+  let budget = Option.value abort_after ~default:max_int in
+  for shard = 0 to Array.length t.shards - 1 do
+    if t.epochs.(shard) <> new_epoch && !updated < budget then begin
+      if t.epochs.(shard) = old_epoch then copy_slice t snap shard (Some (Lazy.force diff))
+      else copy_slice t snap shard None;
+      incr updated
+    end
+  done;
+  t.pinned <- Some (st, snap);
+  Lw_obs.Metrics.set g_epoch (float_of_int (announced_epoch t));
+  Lw_store.unpin st old_snap;
+  !updated
 
 let shards_down t =
   Array.fold_left (fun n d -> if d then n + 1 else n) 0 t.down
@@ -74,6 +163,20 @@ let check_down t =
       (Printf.sprintf "shards down: %s"
          (String.concat "," (List.rev_map string_of_int !downs)))
   end
+
+(* The never-partial-XOR invariant, extended to epochs: shares computed
+   against different epochs XOR into silent garbage exactly like shares
+   with a shard missing, so a mixed-epoch shard fleet refuses with a
+   structured error instead of combining. *)
+let check_epochs t =
+  match epoch_agreed t with
+  | Some _ -> Ok ()
+  | None ->
+      let l =
+        String.concat ","
+          (Array.to_list (Array.mapi (fun i e -> Printf.sprintf "%d:%d" i e) t.epochs))
+      in
+      Error (Printf.sprintf "epoch mismatch across shards: %s" l)
 
 let route t global =
   if global < 0 || global >= 1 lsl t.domain_bits then
@@ -130,7 +233,12 @@ let answer_result t k =
   | Error _ as e ->
       Lw_obs.Metrics.incr m_refusals;
       e
-  | Ok () -> Ok (answer t k)
+  | Ok () -> (
+      match check_epochs t with
+      | Error _ as e ->
+          Lw_obs.Metrics.incr m_epoch_refusals;
+          e
+      | Ok () -> Ok (answer t k))
 
 (* Batched private-GET across the shard fleet: split every query's key
    once, then hand each shard the whole batch of its sub-keys so it runs
@@ -162,7 +270,12 @@ let answer_batch_result t keys =
   | Error _ as e ->
       Lw_obs.Metrics.incr m_refusals;
       e
-  | Ok () -> Ok (answer_batch t keys)
+  | Ok () -> (
+      match check_epochs t with
+      | Error _ as e ->
+          Lw_obs.Metrics.incr m_epoch_refusals;
+          e
+      | Ok () -> Ok (answer_batch t keys))
 
 type shard_timing = { shard : int; eval_s : float; scan_s : float }
 

@@ -14,10 +14,43 @@ val create : domain_bits:int -> shard_bits:int -> bucket_size:int -> t
 val of_db : Lw_pir.Bucket_db.t -> shard_bits:int -> t
 (** Split an existing monolithic database into shards (copies buckets). *)
 
+val of_store : Lw_store.t -> shard_bits:int -> t
+(** Shard the current epoch of the versioned engine. The front-end keeps
+    the copied snapshot pinned so {!refresh} can later diff against it. *)
+
+val refresh : ?abort_after:int -> t -> int
+(** Bring every shard up to the engine's current epoch and return how
+    many shards were updated. A shard still at the previously copied
+    epoch pays only the changed bucket ranges
+    ({!Lw_store.Snapshot.diff_ranges}); a shard at any other epoch is
+    re-copied in full. [?abort_after n] (test/chaos hook) stops after
+    updating [n] shards, leaving the rest behind — the mixed-epoch state
+    the [_result] answer paths refuse; the following [refresh] catches
+    the stragglers up. Raises [Invalid_argument] when the front-end was
+    not built by {!of_store}. *)
+
 val domain_bits : t -> int
 val shard_bits : t -> int
 val shard_count : t -> int
 val bucket_size : t -> int
+
+(** {2 Shard epochs}
+
+    Shares computed against different epochs XOR into silent garbage
+    exactly like shares with a shard missing, so the [_result] answer
+    paths refuse (structured error, [zltp.frontend.epoch_refusals]
+    counter) unless every shard sits at the same epoch. *)
+
+val epoch_agreed : t -> int option
+(** [Some e] iff every shard's copy reflects epoch [e]. *)
+
+val announced_epoch : t -> int
+(** The highest shard epoch — what the server announces in [Welcome] /
+    [Health_reply] (also the [zltp.frontend.epoch] gauge). *)
+
+val set_shard_epoch : t -> int -> int -> unit
+(** [set_shard_epoch t i e] overrides shard [i]'s recorded epoch — a
+    test/chaos hook for forcing the mixed-epoch refusal path. *)
 
 val set_bucket : t -> int -> string -> unit
 (** [set_bucket t global_index data] routes to the owning shard. *)

@@ -4,6 +4,7 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type backend =
   | Pir_flat of Lw_pir.Server.t
+  | Pir_versioned of Lw_store.t
   | Pir_sharded of Zltp_frontend.t
   | Enclave_backend of Lw_oram.Enclave.t
 
@@ -27,19 +28,35 @@ let queries_served t = t.queries
 
 let modes t =
   match t.backend with
-  | Pir_flat _ | Pir_sharded _ -> [ Zltp_mode.Pir2 ]
+  | Pir_flat _ | Pir_versioned _ | Pir_sharded _ -> [ Zltp_mode.Pir2 ]
   | Enclave_backend _ -> [ Zltp_mode.Enclave ]
 
 let domain_bits t =
   match t.backend with
-  | Pir_flat s -> Lw_pir.Bucket_db.domain_bits (Lw_pir.Server.db s)
+  | Pir_flat s -> Lw_pir.Server.domain_bits s
+  | Pir_versioned st -> Lw_store.domain_bits st
   | Pir_sharded fe -> Zltp_frontend.domain_bits fe
   | Enclave_backend _ -> 0
 
 let health t =
   match t.backend with
-  | Pir_flat _ | Enclave_backend _ -> (1, 0)
+  | Pir_flat _ | Pir_versioned _ | Enclave_backend _ -> (1, 0)
   | Pir_sharded fe -> (Zltp_frontend.shard_count fe, Zltp_frontend.shards_down fe)
+
+(* The epoch this replica announces (Welcome/Health/Sync). Unversioned
+   backends are forever at epoch 0 — a degenerate engine that never
+   seals. *)
+let current_epoch t =
+  match t.backend with
+  | Pir_versioned st -> Lw_store.current_epoch st
+  | Pir_sharded fe -> Zltp_frontend.announced_epoch fe
+  | Pir_flat _ | Enclave_backend _ -> 0
+
+let oldest_epoch t =
+  match t.backend with
+  | Pir_versioned st -> Lw_store.oldest_epoch st
+  | Pir_sharded fe -> Zltp_frontend.announced_epoch fe
+  | Pir_flat _ | Enclave_backend _ -> 0
 
 type conn = { server : t; mutable mode : Zltp_mode.t option }
 
@@ -55,16 +72,48 @@ let deserialize_key t dpf_key =
         Error (Zltp_wire.err_bad_request, "domain mismatch")
       else Ok k
 
-let answer_pir t dpf_key =
+(* Answer strictly against the queried epoch. A versioned backend pins
+   that epoch for the duration of the scan (so a concurrent seal cannot
+   retire it mid-answer) and unpins on every exit path; an epoch the
+   replica no longer / does not yet hold becomes the structured
+   err_epoch_retired / err_epoch_ahead the client's re-sync understands. *)
+let with_pinned st ~epoch f =
+  match Lw_store.pin st ~epoch with
+  | Error Lw_store.Retired ->
+      Error (Zltp_wire.err_epoch_retired, Printf.sprintf "epoch %d retired" epoch)
+  | Error Lw_store.Ahead ->
+      Error (Zltp_wire.err_epoch_ahead, Printf.sprintf "epoch %d not yet published" epoch)
+  | Ok snap ->
+      Fun.protect
+        ~finally:(fun () -> Lw_store.unpin st snap)
+        (fun () -> Ok (f (Lw_pir.Server.of_snapshot snap)))
+
+let check_epoch_exact ~have ~queried =
+  if queried = have then Ok ()
+  else if queried > have then
+    Error (Zltp_wire.err_epoch_ahead, Printf.sprintf "epoch %d not yet published" queried)
+  else Error (Zltp_wire.err_epoch_retired, Printf.sprintf "epoch %d retired" queried)
+
+let answer_pir t ~epoch dpf_key =
   match deserialize_key t dpf_key with
   | Error _ as e -> e
   | Ok k -> (
       match t.backend with
-      | Pir_flat s -> Ok (Lw_pir.Server.answer s k)
+      | Pir_flat s -> (
+          match check_epoch_exact ~have:0 ~queried:epoch with
+          | Error _ as e -> e
+          | Ok () -> Ok (Lw_pir.Server.answer s k))
+      | Pir_versioned st -> with_pinned st ~epoch (fun s -> Lw_pir.Server.answer s k)
       | Pir_sharded fe -> (
-          match Zltp_frontend.answer_result fe k with
-          | Ok share -> Ok share
-          | Error e -> Error (Zltp_wire.err_degraded, e))
+          match Zltp_frontend.epoch_agreed fe with
+          | None -> Error (Zltp_wire.err_degraded, "epoch mismatch across shards")
+          | Some have -> (
+              match check_epoch_exact ~have ~queried:epoch with
+              | Error _ as e -> e
+              | Ok () -> (
+                  match Zltp_frontend.answer_result fe k with
+                  | Ok share -> Ok share
+                  | Error e -> Error (Zltp_wire.err_degraded, e))))
       | Enclave_backend _ -> Error (Zltp_wire.err_wrong_mode, "wrong mode"))
 
 (* A batch deserialises and validates every key before any evaluation, so
@@ -72,7 +121,7 @@ let answer_pir t dpf_key =
    partial scan; the accepted keys then ride the bit-packed batch kernel
    — one streamed pass over the data per 8 queries — instead of
    re-entering the single-query path per key. *)
-let answer_pir_batch t dpf_keys =
+let answer_pir_batch t ~epoch dpf_keys =
   let rec deserialize_all acc = function
     | [] -> Ok (Array.of_list (List.rev acc))
     | key :: rest -> (
@@ -84,11 +133,22 @@ let answer_pir_batch t dpf_keys =
   | Error _ as e -> e
   | Ok keys -> (
       match t.backend with
-      | Pir_flat s -> Ok (Array.to_list (Lw_pir.Server.answer_batch s keys))
+      | Pir_flat s -> (
+          match check_epoch_exact ~have:0 ~queried:epoch with
+          | Error _ as e -> e
+          | Ok () -> Ok (Array.to_list (Lw_pir.Server.answer_batch s keys)))
+      | Pir_versioned st ->
+          with_pinned st ~epoch (fun s -> Array.to_list (Lw_pir.Server.answer_batch s keys))
       | Pir_sharded fe -> (
-          match Zltp_frontend.answer_batch_result fe keys with
-          | Ok shares -> Ok (Array.to_list shares)
-          | Error e -> Error (Zltp_wire.err_degraded, e))
+          match Zltp_frontend.epoch_agreed fe with
+          | None -> Error (Zltp_wire.err_degraded, "epoch mismatch across shards")
+          | Some have -> (
+              match check_epoch_exact ~have ~queried:epoch with
+              | Error _ as e -> e
+              | Ok () -> (
+                  match Zltp_frontend.answer_batch_result fe keys with
+                  | Ok shares -> Ok (Array.to_list shares)
+                  | Error e -> Error (Zltp_wire.err_degraded, e))))
       | Enclave_backend _ -> Error (Zltp_wire.err_wrong_mode, "wrong mode"))
 
 let handle c msg =
@@ -99,7 +159,12 @@ let handle c msg =
       (* liveness probe: answerable before Hello, so a failing-over client
          can cheaply rank replicas without a full handshake *)
       let shards_total, shards_down = health t in
-      Some (Zltp_wire.Health_reply { qid; shards_total; shards_down })
+      Some (Zltp_wire.Health_reply { qid; shards_total; shards_down; epoch = current_epoch t })
+  | Zltp_wire.Sync { qid } ->
+      (* epoch probe: like Health, answerable before Hello, so a client
+         recovering from an epoch error can re-learn both replicas'
+         published range without re-handshaking *)
+      Some (Zltp_wire.Sync_reply { qid; epoch = current_epoch t; oldest = oldest_epoch t })
   | Zltp_wire.Hello { version; modes = client_modes } ->
       if version <> Zltp_wire.protocol_version then
         err Zltp_wire.err_bad_request "unsupported protocol version"
@@ -120,34 +185,35 @@ let handle c msg =
                    blob_size = t.blob_size;
                    hash_key = t.hash_key;
                    server_id = t.server_id;
+                   epoch = current_epoch t;
                  })
       end
-  | Zltp_wire.Pir_query { qid; dpf_key } -> (
+  | Zltp_wire.Pir_query { qid; epoch; dpf_key } -> (
       match c.mode with
       | None -> err ~qid Zltp_wire.err_not_negotiated "hello first"
       | Some Zltp_mode.Enclave -> err ~qid Zltp_wire.err_wrong_mode "session is in enclave mode"
       | Some Zltp_mode.Pir2 -> (
-          match answer_pir t dpf_key with
+          match answer_pir t ~epoch dpf_key with
           | Ok share ->
               t.queries <- t.queries + 1;
               (* note: nothing about the query is loggable beyond its
                  existence — the server never has the request key *)
               Log.debug (fun m -> m "%s: private-GET #%d answered" t.server_id t.queries);
-              Some (Zltp_wire.Answer { qid; share })
+              Some (Zltp_wire.Answer { qid; epoch; share })
           | Error (code, e) ->
               Log.info (fun m -> m "%s: rejected query: %s" t.server_id e);
               err ~qid code e))
-  | Zltp_wire.Pir_batch { qid; dpf_keys } -> (
+  | Zltp_wire.Pir_batch { qid; epoch; dpf_keys } -> (
       match c.mode with
       | None -> err ~qid Zltp_wire.err_not_negotiated "hello first"
       | Some Zltp_mode.Enclave -> err ~qid Zltp_wire.err_wrong_mode "session is in enclave mode"
       | Some Zltp_mode.Pir2 -> (
-          match answer_pir_batch t dpf_keys with
+          match answer_pir_batch t ~epoch dpf_keys with
           | Ok shares ->
               t.queries <- t.queries + List.length shares;
               Log.debug (fun m ->
                   m "%s: private-GET batch of %d answered" t.server_id (List.length shares));
-              Some (Zltp_wire.Batch_answer { qid; shares })
+              Some (Zltp_wire.Batch_answer { qid; epoch; shares })
           | Error (code, e) ->
               Log.info (fun m -> m "%s: rejected batch: %s" t.server_id e);
               err ~qid code e))
@@ -160,7 +226,8 @@ let handle c msg =
           | Enclave_backend e ->
               t.queries <- t.queries + 1;
               Some (Zltp_wire.Enclave_answer { qid; value = Lw_oram.Enclave.get e key })
-          | Pir_flat _ | Pir_sharded _ -> err ~qid Zltp_wire.err_internal "backend/mode mismatch"))
+          | Pir_flat _ | Pir_versioned _ | Pir_sharded _ ->
+              err ~qid Zltp_wire.err_internal "backend/mode mismatch"))
 
 (* The request path must never let an exception escape and tear the whole
    connection (or, under a shared-process server, the process) down: any

@@ -7,6 +7,10 @@
 
 type backend =
   | Pir_flat of Lw_pir.Server.t (** single data server (microbenchmark scale) *)
+  | Pir_versioned of Lw_store.t
+      (** epoch-versioned engine: each query is answered against the
+          epoch it names, pinned for the duration of the scan, so the
+          publisher can seal new epochs while queries are in flight *)
   | Pir_sharded of Zltp_frontend.t (** front-end + shards (§5.2) *)
   | Enclave_backend of Lw_oram.Enclave.t
 
@@ -25,6 +29,14 @@ val queries_served : t -> int
 val health : t -> int * int
 (** [(shards_total, shards_down)] — what a [Health] probe reports. A flat
     or enclave backend counts as a single always-up shard. *)
+
+val current_epoch : t -> int
+(** The epoch announced in [Welcome]/[Health_reply]/[Sync_reply].
+    Unversioned backends are forever at epoch 0. *)
+
+val oldest_epoch : t -> int
+(** Oldest epoch still answerable here (equals {!current_epoch} for
+    unversioned backends). *)
 
 (** {2 Per-connection protocol state} *)
 

@@ -1,9 +1,10 @@
 type client_msg =
   | Hello of { version : int; modes : Zltp_mode.t list }
-  | Pir_query of { qid : int; dpf_key : string }
-  | Pir_batch of { qid : int; dpf_keys : string list }
+  | Pir_query of { qid : int; epoch : int; dpf_key : string }
+  | Pir_batch of { qid : int; epoch : int; dpf_keys : string list }
   | Enclave_get of { qid : int; key : string }
   | Health of { qid : int }
+  | Sync of { qid : int }
   | Bye
 
 type server_msg =
@@ -14,19 +15,23 @@ type server_msg =
       blob_size : int;
       hash_key : string;
       server_id : string;
+      epoch : int;
     }
-  | Answer of { qid : int; share : string }
-  | Batch_answer of { qid : int; shares : string list }
+  | Answer of { qid : int; epoch : int; share : string }
+  | Batch_answer of { qid : int; epoch : int; shares : string list }
   | Enclave_answer of { qid : int; value : string option }
-  | Health_reply of { qid : int; shards_total : int; shards_down : int }
+  | Health_reply of { qid : int; shards_total : int; shards_down : int; epoch : int }
+  | Sync_reply of { qid : int; epoch : int; oldest : int }
   | Err of { qid : int; code : int; message : string }
 
-let protocol_version = 2
+let protocol_version = 3
 let err_not_negotiated = 1
 let err_bad_request = 2
 let err_wrong_mode = 3
 let err_internal = 4
 let err_degraded = 5
+let err_epoch_retired = 6
+let err_epoch_ahead = 7
 
 (* The correlation id of a reply, when it carries one. [Welcome] does not
    (the handshake is strictly alternating); an [Err] about something other
@@ -34,12 +39,13 @@ let err_degraded = 5
 let reply_qid = function
   | Welcome _ -> None
   | Answer { qid; _ } | Batch_answer { qid; _ } | Enclave_answer { qid; _ }
-  | Health_reply { qid; _ } | Err { qid; _ } ->
+  | Health_reply { qid; _ } | Sync_reply { qid; _ } | Err { qid; _ } ->
       Some qid
 
 let request_qid = function
   | Hello _ | Bye -> None
-  | Pir_query { qid; _ } | Pir_batch { qid; _ } | Enclave_get { qid; _ } | Health { qid } ->
+  | Pir_query { qid; _ } | Pir_batch { qid; _ } | Enclave_get { qid; _ } | Health { qid }
+  | Sync { qid } ->
       Some qid
 
 (* ---- primitive writers/readers: tag byte, u8, u32-be, length-prefixed
@@ -127,13 +133,15 @@ let encode_client msg =
       add_u8 buf 1;
       add_u8 buf version;
       add_list buf modes (fun b m -> add_u8 b (Zltp_mode.to_tag m))
-  | Pir_query { qid; dpf_key } ->
+  | Pir_query { qid; epoch; dpf_key } ->
       add_u8 buf 2;
       add_u32 buf qid;
+      add_u32 buf epoch;
       add_str buf dpf_key
-  | Pir_batch { qid; dpf_keys } ->
+  | Pir_batch { qid; epoch; dpf_keys } ->
       add_u8 buf 3;
       add_u32 buf qid;
+      add_u32 buf epoch;
       add_list buf dpf_keys add_str
   | Enclave_get { qid; key } ->
       add_u8 buf 4;
@@ -142,6 +150,9 @@ let encode_client msg =
   | Bye -> add_u8 buf 5
   | Health { qid } ->
       add_u8 buf 6;
+      add_u32 buf qid
+  | Sync { qid } ->
+      add_u8 buf 7;
       add_u32 buf qid);
   seal (Buffer.contents buf)
 
@@ -160,15 +171,18 @@ let decode_client s =
           finish r (Hello { version; modes })
       | 2 ->
           let qid = u32 r in
-          finish r (Pir_query { qid; dpf_key = str r })
+          let epoch = u32 r in
+          finish r (Pir_query { qid; epoch; dpf_key = str r })
       | 3 ->
           let qid = u32 r in
-          finish r (Pir_batch { qid; dpf_keys = list r str })
+          let epoch = u32 r in
+          finish r (Pir_batch { qid; epoch; dpf_keys = list r str })
       | 4 ->
           let qid = u32 r in
           finish r (Enclave_get { qid; key = str r })
       | 5 -> finish r Bye
       | 6 -> finish r (Health { qid = u32 r })
+      | 7 -> finish r (Sync { qid = u32 r })
       | t -> raise (Decode (Printf.sprintf "unknown client tag %d" t)))
     s
 
@@ -177,21 +191,24 @@ let decode_client s =
 let encode_server msg =
   let buf = Buffer.create 64 in
   (match msg with
-  | Welcome { version; mode; domain_bits; blob_size; hash_key; server_id } ->
+  | Welcome { version; mode; domain_bits; blob_size; hash_key; server_id; epoch } ->
       add_u8 buf 1;
       add_u8 buf version;
       add_u8 buf (Zltp_mode.to_tag mode);
       add_u8 buf domain_bits;
       add_u32 buf blob_size;
       add_str buf hash_key;
-      add_str buf server_id
-  | Answer { qid; share } ->
+      add_str buf server_id;
+      add_u32 buf epoch
+  | Answer { qid; epoch; share } ->
       add_u8 buf 2;
       add_u32 buf qid;
+      add_u32 buf epoch;
       add_str buf share
-  | Batch_answer { qid; shares } ->
+  | Batch_answer { qid; epoch; shares } ->
       add_u8 buf 3;
       add_u32 buf qid;
+      add_u32 buf epoch;
       add_list buf shares add_str
   | Enclave_answer { qid; value } -> (
       add_u8 buf 4;
@@ -206,11 +223,17 @@ let encode_server msg =
       add_u32 buf qid;
       add_u8 buf code;
       add_str buf message
-  | Health_reply { qid; shards_total; shards_down } ->
+  | Health_reply { qid; shards_total; shards_down; epoch } ->
       add_u8 buf 6;
       add_u32 buf qid;
       add_u32 buf shards_total;
-      add_u32 buf shards_down);
+      add_u32 buf shards_down;
+      add_u32 buf epoch
+  | Sync_reply { qid; epoch; oldest } ->
+      add_u8 buf 7;
+      add_u32 buf qid;
+      add_u32 buf epoch;
+      add_u32 buf oldest);
   seal (Buffer.contents buf)
 
 let decode_server s =
@@ -224,13 +247,16 @@ let decode_server s =
           let blob_size = u32 r in
           let hash_key = str r in
           let server_id = str r in
-          finish r (Welcome { version; mode; domain_bits; blob_size; hash_key; server_id })
+          let epoch = u32 r in
+          finish r (Welcome { version; mode; domain_bits; blob_size; hash_key; server_id; epoch })
       | 2 ->
           let qid = u32 r in
-          finish r (Answer { qid; share = str r })
+          let epoch = u32 r in
+          finish r (Answer { qid; epoch; share = str r })
       | 3 ->
           let qid = u32 r in
-          finish r (Batch_answer { qid; shares = list r str })
+          let epoch = u32 r in
+          finish r (Batch_answer { qid; epoch; shares = list r str })
       | 4 -> (
           let qid = u32 r in
           match u8 r with
@@ -246,6 +272,12 @@ let decode_server s =
           let qid = u32 r in
           let shards_total = u32 r in
           let shards_down = u32 r in
-          finish r (Health_reply { qid; shards_total; shards_down })
+          let epoch = u32 r in
+          finish r (Health_reply { qid; shards_total; shards_down; epoch })
+      | 7 ->
+          let qid = u32 r in
+          let epoch = u32 r in
+          let oldest = u32 r in
+          finish r (Sync_reply { qid; epoch; oldest })
       | t -> raise (Decode (Printf.sprintf "unknown server tag %d" t)))
     s

@@ -14,14 +14,27 @@
     duplicated reply of an earlier attempt instead of silently XOR-ing
     mismatched shares into a wrong value. [Health] is a cheap liveness and
     degradation probe — valid even before [Hello] — used by clients to
-    pick a healthy replica when failing over. *)
+    pick a healthy replica when failing over.
+
+    Protocol version 3 makes database {e epochs} first-class: PIR queries
+    name the epoch they must be answered against, and every PIR reply
+    echoes the epoch it was computed from. Two-server reconstruction is
+    XOR over two shares, which is correct only when both servers scanned
+    bit-identical databases — with versioned storage underneath, "same
+    epoch" is exactly that guarantee, checked structurally instead of
+    hoped for. A server that no longer holds (or does not yet hold) the
+    named epoch answers [Err] with {!err_epoch_retired} /
+    {!err_epoch_ahead}, and the [Sync]/[Sync_reply] pair — valid before
+    [Hello], like [Health] — lets a client cheaply re-learn a replica's
+    published epoch range before retrying. *)
 
 type client_msg =
   | Hello of { version : int; modes : Zltp_mode.t list }
-  | Pir_query of { qid : int; dpf_key : string }
-  | Pir_batch of { qid : int; dpf_keys : string list }
+  | Pir_query of { qid : int; epoch : int; dpf_key : string }
+  | Pir_batch of { qid : int; epoch : int; dpf_keys : string list }
   | Enclave_get of { qid : int; key : string }
   | Health of { qid : int }
+  | Sync of { qid : int }  (** ask for the replica's current/oldest epoch *)
   | Bye
 
 type server_msg =
@@ -32,11 +45,14 @@ type server_msg =
       blob_size : int;
       hash_key : string; (** keyword→index SipHash key (public) *)
       server_id : string;
+      epoch : int; (** the replica's current epoch at handshake time *)
     }
-  | Answer of { qid : int; share : string }
-  | Batch_answer of { qid : int; shares : string list }
+  | Answer of { qid : int; epoch : int; share : string }
+  | Batch_answer of { qid : int; epoch : int; shares : string list }
   | Enclave_answer of { qid : int; value : string option }
-  | Health_reply of { qid : int; shards_total : int; shards_down : int }
+  | Health_reply of { qid : int; shards_total : int; shards_down : int; epoch : int }
+  | Sync_reply of { qid : int; epoch : int; oldest : int }
+      (** current and oldest still-answerable epochs *)
   | Err of { qid : int; code : int; message : string }
       (** [qid] 0 when the error is not about a specific query *)
 
@@ -57,6 +73,14 @@ val err_internal : int
 val err_degraded : int
 (** The backend is partially down (e.g. a data shard unreachable) and the
     answer would be wrong; the client should fail over to a replica. *)
+
+val err_epoch_retired : int
+(** The queried epoch has been retired here; re-sync and retry at a
+    current epoch. *)
+
+val err_epoch_ahead : int
+(** The queried epoch has not been published here yet (this replica is
+    behind); re-sync, and prefer the other replica. *)
 
 val trailer_size : int
 (** Every encoded message ends in a [trailer_size]-byte CRC-32 over its

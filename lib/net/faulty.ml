@@ -109,7 +109,7 @@ let corrupt_msg off msg =
    swallows a message surface deterministically: the recv that would have
    blocked forever raises [Endpoint.Timeout] instead — a virtual deadline
    expiry — so no test or bench over a faulty endpoint can ever hang. *)
-let wrap ?(clock = Clock.virtual_ ()) ?counters schedule (ep : Endpoint.t) =
+let wrap ?(clock = Lw_obs.Clock.virtual_ ()) ?counters schedule (ep : Endpoint.t) =
   let c = match counters with Some c -> c | None -> fresh_counters () in
   let send_i = ref 0 and recv_i = ref 0 in
   let lost_replies = ref 0 in
@@ -140,7 +140,7 @@ let wrap ?(clock = Clock.virtual_ ()) ?counters schedule (ep : Endpoint.t) =
         ep.Endpoint.send msg
     | Some (Delay d) ->
         note_delay c;
-        Clock.sleep clock d;
+        Lw_obs.Clock.sleep clock d;
         ep.Endpoint.send msg
     | Some (Truncate n) ->
         note_truncate c;
@@ -185,7 +185,7 @@ let wrap ?(clock = Clock.virtual_ ()) ?counters schedule (ep : Endpoint.t) =
           msg
       | Some (Delay d) ->
           note_delay c;
-          Clock.sleep clock d;
+          Lw_obs.Clock.sleep clock d;
           msg
       | Some (Truncate n) ->
           note_truncate c;

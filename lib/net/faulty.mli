@@ -11,7 +11,7 @@
     traffic follows, which is what makes fault injection hang-free: a
     fault that swallows a message makes the corresponding [recv] raise
     {!Endpoint.Timeout} immediately (a virtual deadline expiry) instead of
-    blocking forever. Delays advance the supplied {!Clock} (virtual by
+    blocking forever. Delays advance the supplied {!Lw_obs.Clock} (virtual by
     default), so chaos runs are fast and bit-for-bit reproducible. *)
 
 type fault =
@@ -58,7 +58,7 @@ val fresh_counters : unit -> counters
 val total_faults : counters -> int
 
 val wrap :
-  ?clock:Clock.t -> ?counters:counters -> schedule -> Endpoint.t -> Endpoint.t * counters
+  ?clock:Lw_obs.Clock.t -> ?counters:counters -> schedule -> Endpoint.t -> Endpoint.t * counters
 (** [wrap schedule ep] interposes the schedule on [ep]. Returns the faulty
     endpoint and its per-fault counters (the supplied [counters] if given,
     so several connections can share one tally). *)

@@ -60,7 +60,7 @@ let insert t ~key ~value =
   let bucket_size = Bucket_db.bucket_size t.db in
   if Record.overhead + String.length key + String.length value > bucket_size then Error `Too_large
   else begin
-    let fresh = find t key = None in
+    let fresh = Option.is_none (find t key) in
     (match slot_of t key with
     | Some (i, _) -> Bucket_db.set t.db i (Record.encode ~bucket_size ~key ~value)
     | None when Hashtbl.mem t.stash key -> Hashtbl.replace t.stash key value
@@ -80,7 +80,9 @@ let insert t ~key ~value =
           end
         in
         let i0, i1 = candidates t key in
-        let start = if Record.decode (Bucket_db.get t.db i0) = None then i0 else i1 in
+        let start =
+          if Option.is_none (Record.decode (Bucket_db.get t.db i0)) then i0 else i1
+        in
         place key value start 0);
     if fresh then t.count <- t.count + 1;
     Ok ()

@@ -1,10 +1,64 @@
-type t = { db : Bucket_db.t }
+(* A server answers over one immutable view of the database: either a
+   flat [Bucket_db] (tests, microbenchmarks, single-epoch worlds) or a
+   pinned [Lw_store] snapshot (the production path, where the database
+   keeps moving underneath and each answer must come from exactly the
+   epoch the client queried). The scan kernels are identical either way
+   — the snapshot exposes the same masked/packed/blocked XOR entry
+   points as the flat database, with the same per-bucket tracing. *)
 
-let create db = { db }
-let db t = t.db
+type source = Flat of Bucket_db.t | Snapshot of Lw_store.Snapshot.t
+type t = { src : source }
+
+let create db = { src = Flat db }
+let of_snapshot snap = { src = Snapshot snap }
+
+let db t =
+  match t.src with
+  | Flat db -> db
+  | Snapshot _ -> invalid_arg "Server.db: snapshot-backed server has no flat database"
+
+let epoch t =
+  match t.src with
+  | Flat _ -> None
+  | Snapshot s -> Some (Lw_store.Snapshot.epoch s)
+
+let domain_bits t =
+  match t.src with
+  | Flat db -> Bucket_db.domain_bits db
+  | Snapshot s -> Lw_store.Snapshot.domain_bits s
+
+let size t =
+  match t.src with
+  | Flat db -> Bucket_db.size db
+  | Snapshot s -> Lw_store.Snapshot.size s
+
+let bucket_size t =
+  match t.src with
+  | Flat db -> Bucket_db.bucket_size db
+  | Snapshot s -> Lw_store.Snapshot.bucket_size s
+
+let total_bytes t =
+  match t.src with
+  | Flat db -> Bucket_db.total_bytes db
+  | Snapshot s -> Lw_store.Snapshot.total_bytes s
+
+let xor_bucket_into_masked t i ~mask ~dst =
+  match t.src with
+  | Flat db -> Bucket_db.xor_bucket_into_masked db i ~mask ~dst
+  | Snapshot s -> Lw_store.Snapshot.xor_bucket_into_masked s i ~mask ~dst
+
+let xor_bucket_into_packed t i ~pack ~dsts =
+  match t.src with
+  | Flat db -> Bucket_db.xor_bucket_into_packed db i ~pack ~dsts
+  | Snapshot s -> Lw_store.Snapshot.xor_bucket_into_packed s i ~pack ~dsts
+
+let xor_block_into_masked t ~base ~count ~bits ~bits_pos ~dst =
+  match t.src with
+  | Flat db -> Bucket_db.xor_block_into_masked db ~base ~count ~bits ~bits_pos ~dst
+  | Snapshot s -> Lw_store.Snapshot.xor_block_into_masked s ~base ~count ~bits ~bits_pos ~dst
 
 let check_domain t k =
-  if Lw_dpf.Dpf.domain_bits k <> Bucket_db.domain_bits t.db then
+  if Lw_dpf.Dpf.domain_bits k <> domain_bits t then
     invalid_arg "Server: key domain does not match database"
 
 (* Reference two-pass path: materialise one selection byte per bucket,
@@ -15,7 +69,7 @@ let check_domain t k =
 
 let eval_bits t k =
   check_domain t k;
-  let bits = Bytes.create (Bucket_db.size t.db) in
+  let bits = Bytes.create (size t) in
   Lw_dpf.Dpf.eval_all_bits k (fun i b -> Bytes.unsafe_set bits i (Char.unsafe_chr b));
   bits
 
@@ -27,10 +81,10 @@ let eval_bits t k =
 let mask_of_bit b = (0 - (b land 1)) land 0xff
 
 let scan t bits =
-  let acc = Bytes.make (Bucket_db.bucket_size t.db) '\x00' in
-  for i = 0 to Bucket_db.size t.db - 1 do
+  let acc = Bytes.make (bucket_size t) '\x00' in
+  for i = 0 to size t - 1 do
     let mask = mask_of_bit (Char.code (Bytes.unsafe_get bits i)) in
-    Bucket_db.xor_bucket_into_masked t.db i ~mask ~dst:acc
+    xor_bucket_into_masked t i ~mask ~dst:acc
   done;
   Bytes.unsafe_to_string acc
 
@@ -40,12 +94,14 @@ let scan t bits =
 
 (* Cache budget for one streamed block of database: big enough to
    amortise per-block overheads, small enough that a block and the
-   accumulators it feeds stay resident while a batch's packs revisit it. *)
+   accumulators it feeds stay resident while a batch's packs revisit it.
+   Matches [Lw_store]'s CoW block budget, so a fused-scan block never
+   spans more than two CoW blocks of a snapshot. *)
 let block_bytes = 1 lsl 18
 
 let block_bits_for t =
-  let bucket = Bucket_db.bucket_size t.db in
-  let d = Bucket_db.domain_bits t.db in
+  let bucket = bucket_size t in
+  let d = domain_bits t in
   let rec fit b = if b >= d || (1 lsl (b + 1)) * bucket > block_bytes then b else fit (b + 1) in
   fit 0
 
@@ -61,11 +117,11 @@ let m_scan_bytes = Lw_obs.Metrics.counter "pir.server.scan_bytes"
    checks instead of per-bucket ones. *)
 let answer t k =
   check_domain t k;
-  let acc = Bytes.make (Bucket_db.bucket_size t.db) '\x00' in
+  let acc = Bytes.make (bucket_size t) '\x00' in
   Lw_dpf.Dpf.eval_bits_blocked k ~block_bits:(block_bits_for t) (fun base bits count ->
-      Bucket_db.xor_block_into_masked t.db ~base ~count ~bits ~bits_pos:0 ~dst:acc);
+      xor_block_into_masked t ~base ~count ~bits ~bits_pos:0 ~dst:acc);
   Lw_obs.Metrics.incr m_answers;
-  Lw_obs.Metrics.add m_scan_bytes (Bucket_db.total_bytes t.db);
+  Lw_obs.Metrics.add m_scan_bytes (total_bytes t);
   Bytes.unsafe_to_string acc
 
 (* Bit-packed batching: up to 8 queries' selection bits share one byte
@@ -79,8 +135,8 @@ let answer_batch t keys =
   if n = 0 then [||]
   else if n = 1 then [| answer t keys.(0) |]
   else begin
-    let size = Bucket_db.size t.db in
-    let bucket = Bucket_db.bucket_size t.db in
+    let size = size t in
+    let bucket = bucket_size t in
     let n_packs = (n + 7) / 8 in
     (* pack p's byte for bucket i carries query [8p+q]'s bit at bit q *)
     let packed = Array.init n_packs (fun _ -> Bytes.make size '\x00') in
@@ -100,9 +156,7 @@ let answer_batch t keys =
       for p = 0 to n_packs - 1 do
         let bits = packed.(p) and dsts = lanes.(p) in
         for i = !base to stop - 1 do
-          Bucket_db.xor_bucket_into_packed t.db i
-            ~pack:(Char.code (Bytes.unsafe_get bits i))
-            ~dsts
+          xor_bucket_into_packed t i ~pack:(Char.code (Bytes.unsafe_get bits i)) ~dsts
         done
       done;
       base := stop
@@ -110,7 +164,7 @@ let answer_batch t keys =
     Lw_obs.Metrics.incr m_batches;
     Lw_obs.Metrics.add m_answers n;
     (* the batch streams the database once per pack, not once per query *)
-    Lw_obs.Metrics.add m_scan_bytes (n_packs * Bucket_db.total_bytes t.db);
+    Lw_obs.Metrics.add m_scan_bytes (n_packs * total_bytes t);
     Array.map Bytes.unsafe_to_string accs
   end
 
@@ -118,5 +172,5 @@ let answer_serialized t key_bytes =
   match Lw_dpf.Dpf.deserialize key_bytes with
   | Error e -> Error (Printf.sprintf "bad DPF key: %s" e)
   | Ok k ->
-      if Lw_dpf.Dpf.domain_bits k <> Bucket_db.domain_bits t.db then Error "domain mismatch"
+      if Lw_dpf.Dpf.domain_bits k <> domain_bits t then Error "domain mismatch"
       else Ok (answer t k)

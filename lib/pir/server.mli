@@ -16,7 +16,24 @@
 type t
 
 val create : Bucket_db.t -> t
+(** Serve a flat mutable database — tests, microbenchmarks, and worlds
+    that never change epoch. *)
+
+val of_snapshot : Lw_store.Snapshot.t -> t
+(** Serve one pinned epoch of the versioned engine — the production
+    path. The caller owns the pin: keep the snapshot pinned for as long
+    as the server answers from it. *)
+
 val db : t -> Bucket_db.t
+(** Raises [Invalid_argument] on a snapshot-backed server. *)
+
+val epoch : t -> int option
+(** The served epoch; [None] for a flat (unversioned) server. *)
+
+val domain_bits : t -> int
+val size : t -> int
+val bucket_size : t -> int
+val total_bytes : t -> int
 
 val eval_bits : t -> Lw_dpf.Dpf.key -> Bytes.t
 (** [eval_bits t k] is one byte (0/1) per bucket, in index order — the

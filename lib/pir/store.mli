@@ -1,5 +1,11 @@
 (** Single-hash keyword store: each key owns the one bucket its hash picks
-    (the paper's default; on collision the publisher renames, §5.1). *)
+    (the paper's default; on collision the publisher renames, §5.1).
+
+    Backed by the epoch-versioned engine ({!Lw_store}): mutations
+    accumulate in a copy-on-write batch and become visible to PIR
+    servers only when {!publish} seals them as the next epoch. The
+    store's own read API ({!find}, collision checks) reads through the
+    pending batch, so a publisher always sees its own writes. *)
 
 type t
 
@@ -8,26 +14,41 @@ type insert_error =
   | Too_large
 
 val create : ?hash_key:string -> domain_bits:int -> bucket_size:int -> unit -> t
-(** [create ~domain_bits ~bucket_size ()] makes an empty store. The
-    SipHash key defaults to a fixed test key; deployments pass a secret
-    per-universe key. *)
+(** [create ~domain_bits ~bucket_size ()] makes an empty store at epoch 0.
+    The SipHash key defaults to a fixed test key; deployments pass a
+    secret per-universe key. *)
 
-val db : t -> Bucket_db.t
+val engine : t -> Lw_store.t
+(** The underlying epoch engine — what versioned ZLTP servers serve. *)
+
 val keymap : t -> Keymap.t
 val count : t -> int
-(** Number of stored keys. *)
+(** Number of stored keys (including uncommitted inserts). *)
 
 val insert : t -> key:string -> value:string -> (unit, insert_error) result
 (** Rejects a key whose slot is taken by a {e different} key; re-inserting
-    the same key overwrites. *)
+    the same key overwrites. The write is buffered until {!publish}. *)
 
 val remove : t -> string -> bool
-(** [remove t key] clears the key's bucket if it holds that key. *)
+(** [remove t key] clears the key's bucket if it holds that key (buffered
+    until {!publish}). *)
 
 val find : t -> string -> string option
 (** Direct (non-private) lookup — publishers and tests use this; clients
-    go through PIR. *)
+    go through PIR. Sees uncommitted writes. *)
 
 val index_of : t -> string -> int
+
+val publish : t -> Lw_store.Snapshot.t
+(** Seal the pending mutation batch as the next epoch and return the
+    resulting (unpinned) snapshot; if nothing is pending, returns the
+    current snapshot without minting an epoch. *)
+
+val snapshot : t -> Lw_store.Snapshot.t
+(** Alias of {!publish}: a snapshot reflecting everything inserted so
+    far. Mints a new epoch only if mutations are pending. *)
+
+val pending_mutations : t -> int
+(** Mutations buffered since the last {!publish}. *)
 
 val load_factor : t -> float

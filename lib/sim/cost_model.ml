@@ -88,6 +88,46 @@ let estimate ?(policy = Storage_driven) ?(bucket_bytes = 4096) ?(batch = 16) ds 
     latency_floor_s = float_of_int batch *. shard.request_seconds;
   }
 
+type update_estimate = {
+  churn : float;
+  dirty_buckets : float;
+  expected_dirty_blocks : float;
+  cow_bytes : float;
+  naive_bytes : float;
+  cow_ratio : float;
+}
+
+let update_estimate ?(bucket_bytes = 4096) ?(block_bytes = 262144) ~churn ds =
+  if churn < 0. || churn > 1. then invalid_arg "update_estimate: churn must be in [0,1]";
+  let n_buckets = Float.max 1. (Float.ceil (ds.total_bytes /. float_of_int bucket_bytes)) in
+  let buckets_per_block =
+    float_of_int (max 1 (block_bytes / max 1 bucket_bytes))
+  in
+  let n_blocks = Float.max 1. (Float.ceil (n_buckets /. buckets_per_block)) in
+  (* a block is copied iff at least one of its buckets churned; with
+     uniform independent churn that is 1 - (1-churn)^buckets_per_block *)
+  let p_block_dirty = 1. -. Float.pow (1. -. churn) buckets_per_block in
+  let expected_dirty_blocks = n_blocks *. p_block_dirty in
+  let per_replica_cow = expected_dirty_blocks *. float_of_int block_bytes in
+  let cow_bytes = per_replica_cow *. float_of_int servers in
+  let naive_bytes = ds.total_bytes *. float_of_int servers in
+  {
+    churn;
+    dirty_buckets = n_buckets *. churn;
+    expected_dirty_blocks;
+    cow_bytes;
+    naive_bytes;
+    cow_ratio = (if naive_bytes > 0. then cow_bytes /. naive_bytes else 0.);
+  }
+
+let pp_update fmt u =
+  Format.fprintf fmt
+    "churn=%.4f dirty-buckets=%.0f dirty-blocks=%.1f cow=%.1fMiB naive=%.1fMiB ratio=%.4f"
+    u.churn u.dirty_buckets u.expected_dirty_blocks
+    (u.cow_bytes /. (1024. *. 1024.))
+    (u.naive_bytes /. (1024. *. 1024.))
+    u.cow_ratio
+
 type user_profile = { pages_per_day : float; gets_per_page : int }
 
 let paper_user = { pages_per_day = 50.; gets_per_page = 5 }

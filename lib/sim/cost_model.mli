@@ -65,6 +65,30 @@ val estimate :
     is the paper's: upload = 2 keys of [(λ+2)·d_total] bytes with λ = 128
     and [d_total = domain_bits + ⌈log2 shards⌉]; download = 2 buckets. *)
 
+(** {2 Update bandwidth (epoch-versioned storage)} *)
+
+type update_estimate = {
+  churn : float; (** fraction of buckets mutated per epoch *)
+  dirty_buckets : float;
+  expected_dirty_blocks : float;
+  cow_bytes : float; (** copy-on-write publish cost, both replicas *)
+  naive_bytes : float; (** full re-push of the database, both replicas *)
+  cow_ratio : float; (** cow_bytes / naive_bytes *)
+}
+
+val update_estimate :
+  ?bucket_bytes:int -> ?block_bytes:int -> churn:float -> dataset -> update_estimate
+(** Bandwidth a publisher epoch costs under the CoW engine versus naively
+    re-pushing the whole database to both PIR replicas. Blocks hold
+    [block_bytes / bucket_bytes] buckets (defaults 4 KiB buckets, 256 KiB
+    blocks, matching [Lw_store]); with uniform independent churn [c], a
+    block is copied with probability [1 - (1-c)^buckets_per_block], so
+    [expected_dirty_blocks = n_blocks · (1 - (1-c)^bpb)]. Bench E22
+    measures the same ratio on the real engine. Raises [Invalid_argument]
+    unless [0 <= churn <= 1]. *)
+
+val pp_update : Format.formatter -> update_estimate -> unit
+
 (** {2 §4 economics} *)
 
 type user_profile = { pages_per_day : float; gets_per_page : int }

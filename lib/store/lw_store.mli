@@ -1,0 +1,188 @@
+(** Epoch-versioned storage engine: immutable snapshots + copy-on-write
+    writers over the PIR bucket array.
+
+    Two-server PIR reconstruction is XOR over two servers' shares, so it
+    is only correct when both servers scanned {e bit-identical}
+    databases. Publishers, however, push updates continuously. This
+    engine makes the two compatible by construction:
+
+    - readers {!pin} an immutable {!Snapshot.t} of some epoch [e] and
+      scan it for as long as they like — a snapshot's bytes never change;
+    - a {!Writer.t} batches publisher mutations copy-on-write against the
+      current epoch and publishes them atomically as epoch [e+1] via
+      {!Writer.seal}.
+
+    Storage is an array of fixed-size blocks (power-of-two runs of
+    buckets sized to the [Xorbuf] streaming-block budget, 256 KiB by
+    default). Sealing shares every untouched block with the previous
+    epoch, so a 1%-churn epoch costs ~1% of a full database copy — the
+    property bench E22 measures.
+
+    Epoch lifetime is refcounted: an epoch is retired once no reader
+    pins it {e and} it has aged out of the [keep] most recent epochs.
+    The keep window (default 2: current + previous) is what lets a
+    client that pinned an epoch for a multi-fetch page visit still be
+    answered while the publisher seals the next epoch underneath it. *)
+
+type t
+(** The engine: a totally-ordered sequence of epochs over one logical
+    bucket database. Publishing ([Writer.seal]) and pin bookkeeping are
+    mutex-protected; reads of snapshot bytes are lock-free. *)
+
+type store = t
+
+type snapshot
+type writer
+
+val create :
+  ?hash_key:string ->
+  ?keep:int ->
+  ?block_bytes:int ->
+  domain_bits:int ->
+  bucket_size:int ->
+  unit ->
+  t
+(** Epoch 0 is the empty (all-zero) database. [hash_key] is the 16-byte
+    SipHash keyword key ({!index_of_key}); [keep] (default 2, min 1) is
+    how many most-recent epochs survive without pins; [block_bytes]
+    (default [2^18]) bounds the CoW block size. *)
+
+val domain_bits : t -> int
+val size : t -> int
+val bucket_size : t -> int
+val total_bytes : t -> int
+val hash_key : t -> string
+
+val index_of_key : t -> string -> int
+(** Keyword-to-bucket placement, identical to [Lw_pir.Keymap] with the
+    same [hash_key] — the snapshot carries its keymap with it. *)
+
+val block_buckets : t -> int
+(** Buckets per CoW block (a power of two that tiles the domain). *)
+
+val block_bytes : t -> int
+val n_blocks : t -> int
+
+(** {2 Epoch lifecycle} *)
+
+val current : t -> snapshot
+(** Latest published snapshot, without taking a pin: safe to read (its
+    bytes are immutable) but it may be retired under you once newer
+    epochs publish — use {!pin_latest} for anything longer-lived than a
+    single borrow. *)
+
+val current_epoch : t -> int
+
+val oldest_epoch : t -> int
+(** Oldest still-live (pinned or kept) epoch. *)
+
+val live_epochs : t -> int list
+(** Live epochs, oldest first. *)
+
+val pin_latest : t -> snapshot
+(** Pin and return the current epoch. Pair with {!unpin}. *)
+
+type pin_error =
+  | Retired  (** the epoch aged out of the keep window with no pins *)
+  | Ahead  (** the epoch has not been published here yet *)
+
+val pin : t -> epoch:int -> (snapshot, pin_error) result
+(** Pin a specific epoch — how a server answers "the queried epoch":
+    [Error Retired] / [Error Ahead] map onto the wire's structured
+    [err_epoch_retired] / [err_epoch_ahead]. *)
+
+val unpin : t -> snapshot -> unit
+(** Release one pin. Dropping the last pin of an epoch outside the keep
+    window retires it. Unpinning an already-retired snapshot is a no-op. *)
+
+val writer : t -> writer
+(** Open a copy-on-write mutation batch against the current epoch. *)
+
+(** {2 Tracing} (obliviousness-checker hook, mirrors [Bucket_db]) *)
+
+val set_tracing : t -> bool -> unit
+val access_trace : t -> int list
+
+(** {2 Snapshots} *)
+
+module Snapshot : sig
+  type t = snapshot
+  (** A frozen database at one epoch: bucket bytes + keyword placement.
+      All accessors are lock-free and safe from any domain. *)
+
+  val epoch : t -> int
+  val store : t -> store
+  val domain_bits : t -> int
+  val size : t -> int
+  val bucket_size : t -> int
+  val total_bytes : t -> int
+  val hash_key : t -> string
+  val index_of_key : t -> string -> int
+
+  val get : t -> int -> string
+  (** Bucket [i]'s bytes (zero-padded to [bucket_size]). Recorded in the
+      access trace when tracing is on. *)
+
+  val is_empty : t -> int -> bool
+  val occupied : t -> int
+
+  (** Scan kernels, mirroring [Bucket_db]: every bucket the kernel
+      streams is traced individually, so the obliviousness checker sees
+      the same per-bucket sequence over a snapshot as over a flat
+      database. *)
+
+  val xor_bucket_into_masked : t -> int -> mask:int -> dst:Bytes.t -> unit
+  val xor_bucket_into_packed : t -> int -> pack:int -> dsts:Bytes.t array -> unit
+
+  val xor_block_into_masked :
+    t -> base:int -> count:int -> bits:Bytes.t -> bits_pos:int -> dst:Bytes.t -> unit
+  (** Fused-scan block entry; the run may span CoW block boundaries and
+      is split internally. *)
+
+  val set_tracing : t -> bool -> unit
+  val access_trace : t -> int list
+
+  val diff_ranges : t -> t -> (int * int) list
+  (** [diff_ranges a b] is the [(base, count)] bucket ranges (ascending,
+      coalesced) where the two epochs' block pointers differ — the exact
+      set of buckets an incremental consumer (sharded-frontend refresh,
+      replica push) must re-copy. Physical comparison, so it is correct
+      across any number of intervening epochs. Raises [Invalid_argument]
+      if the snapshots belong to different stores. *)
+end
+
+(** {2 Writers} *)
+
+module Writer : sig
+  type t = writer
+  (** A copy-on-write mutation batch against one base epoch. Writers are
+      single-owner and not thread-safe; when several race, the first to
+      seal wins and the others' [seal] raises. *)
+
+  val base_epoch : t -> int
+
+  val set : t -> int -> string -> unit
+  (** Write bucket [i] (zero-padding to [bucket_size]); the first write
+      into a CoW block pays that block's copy, later writes to the same
+      block are free. Raises once the writer is sealed. *)
+
+  val clear : t -> int -> unit
+
+  val get : t -> int -> string
+  (** Read-your-writes view of the batch (uncommitted). *)
+
+  val is_empty : t -> int -> bool
+
+  val mutations : t -> int
+  val dirty_blocks : t -> int
+
+  val cow_bytes : t -> int
+  (** Bytes copied so far — the real cost of this epoch vs. the naive
+      full-database rewrite ([total_bytes]). *)
+
+  val seal : t -> snapshot
+  (** Atomically publish the batch as the next epoch and return its
+      snapshot (unpinned). Raises [Invalid_argument] if another writer
+      sealed since this one was opened (stale writer), or on double
+      seal. *)
+end

@@ -115,6 +115,37 @@ let test_rule_secret_branch () =
   Alcotest.(check int) "unflagged silent" 0
     (count_rule "secret-branch" (findings_for unflagged))
 
+let test_rule_poly_compare () =
+  (* the Store.insert bug shape: option tested with polymorphic = *)
+  let bad_opt = "let fresh t key = find t key = None" in
+  Alcotest.(check int) "option = None caught" 1
+    (count_rule "poly-compare" (findings_for ~path:"lib/pir/fixture.ml" bad_opt));
+  Alcotest.(check int) "also in lib/store" 1
+    (count_rule "poly-compare" (findings_for ~path:"lib/store/fixture.ml" bad_opt));
+  let bad_ne = "let stale t key = cached t key <> None" in
+  Alcotest.(check int) "<> None caught" 1
+    (count_rule "poly-compare" (findings_for ~path:"lib/pir/fixture.ml" bad_ne));
+  let bad_cmp = "let order a b = compare a b" in
+  Alcotest.(check int) "bare compare caught" 1
+    (count_rule "poly-compare" (findings_for ~path:"lib/store/fixture.ml" bad_cmp));
+  (* the fixes the rule pushes you towards are clean *)
+  let good = "let fresh t key = Option.is_none (find t key)" in
+  Alcotest.(check int) "Option.is_none clean" 0
+    (count_rule "poly-compare" (findings_for ~path:"lib/pir/fixture.ml" good));
+  let good_typed = "let order a b = Int.compare a b" in
+  Alcotest.(check int) "typed compare clean" 0
+    (count_rule "poly-compare" (findings_for ~path:"lib/pir/fixture.ml" good_typed));
+  (* binders are not comparisons: let-bindings and record fields *)
+  let binder = "let prior = None in ignore prior" in
+  Alcotest.(check int) "let binder clean" 0
+    (count_rule "poly-compare" (findings_for ~path:"lib/pir/fixture.ml" binder));
+  let record = "let make () = { count = 0; pending = None }" in
+  Alcotest.(check int) "record field clean" 0
+    (count_rule "poly-compare" (findings_for ~path:"lib/pir/fixture.ml" record));
+  (* scoped to the storage layers *)
+  Alcotest.(check int) "lib/core out of scope" 0
+    (count_rule "poly-compare" (findings_for ~path:"lib/core/fixture.ml" bad_opt))
+
 let test_rule_nondeterminism () =
   let bad = "let roll () = Random.int 6" in
   let path = "lib/sim/fixture.ml" in
@@ -147,11 +178,12 @@ let test_rule_raw_timestamp () =
   let good = "let t0 = Lw_obs.Clock.now (Lw_obs.Span.clock ())" in
   Alcotest.(check int) "obs clock clean" 0
     (count_rule "raw-timestamp" (findings_for ~path:"lib/core/fixture.ml" good));
-  (* the structural exemptions: the obs layer itself, the clock shim,
-     and the entropy/determinism modules *)
+  (* the structural exemptions: the obs layer itself and the
+     entropy/determinism modules. The old lib/net clock shim is gone,
+     so a clock.ml outside lib/obs gets no special treatment. *)
   Alcotest.(check int) "lib/obs exempt" 0
     (count_rule "raw-timestamp" (findings_for ~path:"lib/obs/clock.ml" bad));
-  Alcotest.(check int) "net clock shim exempt" 0
+  Alcotest.(check int) "non-obs clock.ml not exempt" 1
     (count_rule "raw-timestamp" (findings_for ~path:"lib/net/clock.ml" bad));
   Alcotest.(check int) "drbg seeding exempt" 0
     (count_rule "raw-timestamp" (findings_for ~path:"lib/crypto/drbg.ml" bad));
@@ -189,7 +221,7 @@ let test_rule_unbounded_wait () =
   let bad_recv = "let pump ep = ep.Lw_net.Endpoint.recv ()" in
   Alcotest.(check int) "bare recv caught" 1
     (count_rule "unbounded-wait" (findings_for ~path bad_recv));
-  let good_clock = "let backoff clock = Lw_net.Clock.sleep clock 0.5" in
+  let good_clock = "let backoff clock = Lw_obs.Clock.sleep clock 0.5" in
   Alcotest.(check int) "Clock.sleep clean" 0
     (count_rule "unbounded-wait" (findings_for ~path good_clock));
   (* a local function merely named recv is not an endpoint receive *)
@@ -327,6 +359,12 @@ let test_trace_retry () =
   check_ok "retry other geometry"
     (Trace_check.check_retry ~domain_bits:5 ~bucket_size:48 ~alpha:30 ())
 
+let test_trace_snapshot_scan () =
+  check_ok "snapshot defaults" (Trace_check.check_snapshot_scan ());
+  check_ok "snapshot other geometry"
+    (Trace_check.check_snapshot_scan ~domain_bits:7 ~bucket_size:48
+       ~alphas:[ 0; 99; 127 ] ())
+
 let test_trace_check_all () = check_ok "check_all" (Trace_check.check_all ())
 
 let test_trace_scan_really_answers () =
@@ -362,6 +400,7 @@ let () =
       ( "rules",
         [
           Alcotest.test_case "ct-equality" `Quick test_rule_ct_equality;
+          Alcotest.test_case "poly-compare" `Quick test_rule_poly_compare;
           Alcotest.test_case "secret-branch" `Quick test_rule_secret_branch;
           Alcotest.test_case "nondeterminism" `Quick test_rule_nondeterminism;
           Alcotest.test_case "raw-timestamp" `Quick test_rule_raw_timestamp;
@@ -380,6 +419,7 @@ let () =
           Alcotest.test_case "enclave traces" `Quick test_trace_enclave;
           Alcotest.test_case "bucket scan traces" `Quick test_trace_bucket_scan;
           Alcotest.test_case "batch scan traces" `Quick test_trace_batch_scan;
+          Alcotest.test_case "CoW snapshot scan traces" `Quick test_trace_snapshot_scan;
           Alcotest.test_case "retry wire shape" `Quick test_trace_retry;
           Alcotest.test_case "check_all" `Quick test_trace_check_all;
           Alcotest.test_case "masked scan answers" `Quick test_trace_scan_really_answers;

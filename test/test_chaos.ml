@@ -11,7 +11,7 @@
 
 open Lightweb
 module Faulty = Lw_net.Faulty
-module Clock = Lw_net.Clock
+module Clock = Lw_obs.Clock
 
 let domain_bits = 6
 let bucket_size = 32
@@ -293,6 +293,122 @@ let test_kill_one_replica () =
       | _ -> Alcotest.fail "no live replica for role 0");
       Zltp_client.close client
 
+(* ---------------- epoch skew (versioned backends) ---------------- *)
+
+(* Replicas serving the epoch-versioned backend can legitimately be one
+   epoch apart while a publisher push propagates. The protocol contract
+   under that skew: every reconstruction XORs two shares of the SAME
+   epoch — the client lands on a common epoch when one exists, re-syncs
+   and fails over when it does not, and reports a clean error when no
+   common epoch is live anywhere. Never mixed-epoch bytes. *)
+
+let bucket_gen g i = Printf.sprintf "epoch-bucket-%02d-gen-%d" i g
+
+let expected_gen g i =
+  let s = bucket_gen g i in
+  s ^ String.make (bucket_size - String.length s) '\000'
+
+(* every engine seals epoch 1 (gen 0 content); up-to-date replicas also
+   seal epoch 2 (gen 1). [keep] controls whether epoch 1 stays live. *)
+let make_engine ~keep ~epochs =
+  let st = Lw_store.create ~keep ~domain_bits ~bucket_size () in
+  for g = 0 to epochs - 1 do
+    let w = Lw_store.writer st in
+    for i = 0 to n_buckets - 1 do
+      Lw_store.Writer.set w i (bucket_gen g i)
+    done;
+    ignore (Lw_store.Writer.seal w)
+  done;
+  st
+
+let make_versioned_world ~keep ~behind () =
+  let clock = Clock.virtual_ () in
+  let servers =
+    Array.init 2 (fun role ->
+        Array.init 2 (fun i ->
+            let epochs = if List.mem (role, i) behind then 1 else 2 in
+            Zltp_server.create ~blob_size:bucket_size
+              (Zltp_server.Pir_versioned (make_engine ~keep ~epochs))))
+  in
+  let mk role i =
+    Zltp_client.replica
+      ~name:(Printf.sprintf "r%d-%d" role i)
+      (fun () -> Ok (Zltp_server.endpoint servers.(role).(i)))
+  in
+  (List.init 2 (fun role -> List.init 2 (mk role)), clock)
+
+let connect_versioned (roles, clock) =
+  Zltp_client.connect_replicated ~policy:quick_policy ~clock
+    ~rng:(Lw_crypto.Drbg.create ~seed:"chaos-epoch")
+    roles
+
+let run_gen_ops ?(ops = 6) ~gen client =
+  List.init ops (fun i ->
+      let idx = (i * 13 + 5) mod n_buckets in
+      match Zltp_client.get_raw_index client idx with
+      | Ok bytes -> if String.equal bytes (expected_gen gen idx) then Correct else Wrong idx
+      | Error e -> Clean_error e)
+
+let test_epoch_behind_common () =
+  (* r0-0 is one epoch behind but the keep window still holds epoch 1
+     everywhere: queries settle on the common epoch and answer its
+     (older) consistent bytes — consistency beats freshness *)
+  let w = make_versioned_world ~keep:2 ~behind:[ (0, 0) ] () in
+  match connect_versioned w with
+  | Error e -> Alcotest.failf "connect failed: %s" e
+  | Ok client ->
+      List.iteri
+        (fun i o ->
+          match o with
+          | Correct -> ()
+          | Wrong idx -> Alcotest.failf "op %d: mixed/wrong bytes (bucket %d)" i idx
+          | Clean_error e -> Alcotest.failf "op %d failed: %s" i e)
+        (run_gen_ops ~gen:0 client);
+      Alcotest.(check int) "no resync needed" 0 (Zltp_client.epoch_resyncs client);
+      Zltp_client.close client
+
+let test_epoch_behind_retired () =
+  (* keep=1 retires epoch 1 on the up-to-date replicas, so the common
+     epoch the client first picks is answerable only by the stale
+     replica: the other role returns err_epoch_retired, the client
+     re-syncs, fails over off the stale replica and retries at epoch 2 *)
+  let w = make_versioned_world ~keep:1 ~behind:[ (0, 0) ] () in
+  match connect_versioned w with
+  | Error e -> Alcotest.failf "connect failed: %s" e
+  | Ok client ->
+      List.iteri
+        (fun i o ->
+          match o with
+          | Correct -> ()
+          | Wrong idx -> Alcotest.failf "op %d: mixed/wrong bytes (bucket %d)" i idx
+          | Clean_error e -> Alcotest.failf "op %d failed: %s" i e)
+        (run_gen_ops ~gen:1 client);
+      Alcotest.(check bool) "re-synced at least once" true
+        (Zltp_client.epoch_resyncs client >= 1);
+      Alcotest.(check bool) "failed over off the stale replica" true
+        (Zltp_client.failovers client >= 1);
+      (match Zltp_client.current_replicas client with
+      | Some r0 :: _ -> Alcotest.(check string) "stale replica abandoned" "r0-1" r0
+      | _ -> Alcotest.fail "no live replica for role 0");
+      Zltp_client.close client
+
+let test_epoch_no_common () =
+  (* both role-0 replicas are stuck at epoch 1 and keep=1 has retired it
+     on role 1: there is no epoch both roles can answer, so every op must
+     end in a clean error — a mixed-epoch XOR would be silent corruption *)
+  let w = make_versioned_world ~keep:1 ~behind:[ (0, 0); (0, 1) ] () in
+  match connect_versioned w with
+  | Error _ -> () (* failing to connect is equally clean *)
+  | Ok client ->
+      List.iteri
+        (fun i o ->
+          match o with
+          | Clean_error _ -> ()
+          | Wrong idx -> Alcotest.failf "op %d: MIXED-EPOCH BYTES (bucket %d)" i idx
+          | Correct -> Alcotest.failf "op %d: answered without a common epoch" i)
+        (run_gen_ops ~ops:2 ~gen:1 client);
+      Zltp_client.close client
+
 (* ---------------- retry privacy ---------------- *)
 
 let test_retry_trace_property () =
@@ -336,6 +452,12 @@ let () =
           Alcotest.test_case "all replicas degraded" `Quick test_all_replicas_degraded;
           Alcotest.test_case "kill one replica" `Quick test_kill_one_replica;
           Alcotest.test_case "retry wire shape" `Quick test_retry_trace_property;
+        ] );
+      ( "epoch skew",
+        [
+          Alcotest.test_case "behind with common epoch" `Quick test_epoch_behind_common;
+          Alcotest.test_case "behind, common epoch retired" `Quick test_epoch_behind_retired;
+          Alcotest.test_case "no common epoch" `Quick test_epoch_no_common;
         ] );
       ("randomized", [ QCheck_alcotest.to_alcotest prop_randomized ]);
     ]

@@ -195,7 +195,7 @@ let test_server_rejects_mutated_valid_frames () =
       ~alpha:5 (rng ())
   in
   let valid =
-    Zltp_wire.encode_client (Zltp_wire.Pir_query { qid = 1; dpf_key = Lw_dpf.Dpf.serialize key })
+    Zltp_wire.encode_client (Zltp_wire.Pir_query { qid = 1; epoch = 0; dpf_key = Lw_dpf.Dpf.serialize key })
   in
   let r = det "mutate" in
   for _ = 1 to 500 do

@@ -45,8 +45,9 @@ let test_blob_roundtrip () =
 let client_msgs : Zltp_wire.client_msg list =
   [
     Zltp_wire.Hello { version = 1; modes = [ Zltp_mode.Pir2; Zltp_mode.Enclave ] };
-    Zltp_wire.Pir_query { qid = 7; dpf_key = "binary\x00key\xff" };
-    Zltp_wire.Pir_batch { qid = 0xFFFFFFFF; dpf_keys = [ "k1"; ""; "k3" ] };
+    Zltp_wire.Pir_query { qid = 7; epoch = 3; dpf_key = "binary\x00key\xff" };
+    Zltp_wire.Pir_batch { qid = 0xFFFFFFFF; epoch = 0; dpf_keys = [ "k1"; ""; "k3" ] };
+    Zltp_wire.Sync { qid = 8 };
     Zltp_wire.Enclave_get { qid = 1; key = "nytimes.com/x" };
     Zltp_wire.Health { qid = 42 };
     Zltp_wire.Bye;
@@ -62,12 +63,14 @@ let server_msgs : Zltp_wire.server_msg list =
         blob_size = 4096;
         hash_key = String.make 16 'h';
         server_id = "cdn-a/data-0";
+        epoch = 5;
       };
-    Zltp_wire.Answer { qid = 7; share = String.make 100 '\x7f' };
-    Zltp_wire.Batch_answer { qid = 3; shares = [ "a"; "b" ] };
+    Zltp_wire.Answer { qid = 7; epoch = 5; share = String.make 100 '\x7f' };
+    Zltp_wire.Batch_answer { qid = 3; epoch = 0; shares = [ "a"; "b" ] };
     Zltp_wire.Enclave_answer { qid = 12; value = None };
     Zltp_wire.Enclave_answer { qid = 13; value = Some "payload" };
-    Zltp_wire.Health_reply { qid = 42; shards_total = 16; shards_down = 3 };
+    Zltp_wire.Health_reply { qid = 42; shards_total = 16; shards_down = 3; epoch = 9 };
+    Zltp_wire.Sync_reply { qid = 8; epoch = 9; oldest = 7 };
     Zltp_wire.Err { qid = 0; code = 2; message = "nope" };
   ]
 
@@ -287,7 +290,7 @@ let test_zltp_requires_hello () =
   let u = make_universe () in
   let d0, _ = Universe.data_servers u in
   let c = Zltp_server.conn d0 in
-  match Zltp_server.handle c (Zltp_wire.Pir_query { qid = 9; dpf_key = "xx" }) with
+  match Zltp_server.handle c (Zltp_wire.Pir_query { qid = 9; epoch = 0; dpf_key = "xx" }) with
   | Some (Zltp_wire.Err { code; _ }) ->
       Alcotest.(check int) "not negotiated" Zltp_wire.err_not_negotiated code
   | _ -> Alcotest.fail "expected error"
@@ -772,10 +775,13 @@ let gen_client_msg =
           Zltp_wire.Hello
             { version = v land 0xff; modes = List.map (fun b -> if b then Zltp_mode.Pir2 else Zltp_mode.Enclave) ms })
         (pair (int_bound 255) (list_size (0 -- 4) bool));
-      map (fun (q, k) -> Zltp_wire.Pir_query { qid = q land 0xffffff; dpf_key = k })
-        (pair (int_bound 0xffffff) str);
-      map (fun (q, ks) -> Zltp_wire.Pir_batch { qid = q land 0xffffff; dpf_keys = ks })
-        (pair (int_bound 0xffffff) (list_size (0 -- 6) str));
+      map (fun (q, e, k) ->
+          Zltp_wire.Pir_query { qid = q land 0xffffff; epoch = e; dpf_key = k })
+        (triple (int_bound 0xffffff) (int_bound 0xffff) str);
+      map (fun (q, e, ks) ->
+          Zltp_wire.Pir_batch { qid = q land 0xffffff; epoch = e; dpf_keys = ks })
+        (triple (int_bound 0xffffff) (int_bound 0xffff) (list_size (0 -- 6) str));
+      map (fun q -> Zltp_wire.Sync { qid = q land 0xffffff }) (int_bound 0xffffff);
       map (fun (q, k) -> Zltp_wire.Enclave_get { qid = q land 0xffffff; key = k })
         (pair (int_bound 0xffffff) str);
       map (fun q -> Zltp_wire.Health { qid = q land 0xffffff }) (int_bound 0xffffff);
@@ -788,7 +794,7 @@ let gen_server_msg =
   oneof
     [
       map
-        (fun (d, b, hk, id) ->
+        (fun (d, b, hk, id, e) ->
           Zltp_wire.Welcome
             {
               version = Zltp_wire.protocol_version;
@@ -797,17 +803,26 @@ let gen_server_msg =
               blob_size = b land 0xffffff;
               hash_key = hk;
               server_id = id;
+              epoch = e land 0xffffff;
             })
-        (quad (int_bound 255) (int_bound 1000000) str str);
-      map (fun (q, s) -> Zltp_wire.Answer { qid = q land 0xffffff; share = s })
-        (pair (int_bound 0xffffff) str);
-      map (fun (q, ss) -> Zltp_wire.Batch_answer { qid = q land 0xffffff; shares = ss })
-        (pair (int_bound 0xffffff) (list_size (0 -- 6) str));
+        (map (fun ((d, b, hk, id), e) -> (d, b, hk, id, e))
+           (pair (quad (int_bound 255) (int_bound 1000000) str str) (int_bound 0xffffff)));
+      map (fun (q, e, s) ->
+          Zltp_wire.Answer { qid = q land 0xffffff; epoch = e; share = s })
+        (triple (int_bound 0xffffff) (int_bound 0xffff) str);
+      map (fun (q, e, ss) ->
+          Zltp_wire.Batch_answer { qid = q land 0xffffff; epoch = e; shares = ss })
+        (triple (int_bound 0xffffff) (int_bound 0xffff) (list_size (0 -- 6) str));
       map (fun (q, v) -> Zltp_wire.Enclave_answer { qid = q land 0xffffff; value = v })
         (pair (int_bound 0xffffff) (option str));
       map (fun (q, t, d) ->
           Zltp_wire.Health_reply
-            { qid = q land 0xffffff; shards_total = t land 0xffff; shards_down = d land 0xffff })
+            { qid = q land 0xffffff; shards_total = t land 0xffff; shards_down = d land 0xffff;
+              epoch = (q * 7) land 0xffff })
+        (triple (int_bound 0xffffff) (int_bound 0xffff) (int_bound 0xffff));
+      map (fun (q, e, o) ->
+          Zltp_wire.Sync_reply
+            { qid = q land 0xffffff; epoch = e + o; oldest = o })
         (triple (int_bound 0xffffff) (int_bound 0xffff) (int_bound 0xffff));
       map (fun (c, m) -> Zltp_wire.Err { qid = 0; code = c land 0xff; message = m })
         (pair (int_bound 255) str);

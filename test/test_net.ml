@@ -1,4 +1,5 @@
 open Lw_net
+module Clock = Lw_obs.Clock
 
 (* ---------------- Frame ---------------- *)
 

@@ -226,7 +226,7 @@ let populated_store ?(domain_bits = 8) ?(bucket_size = 256) n =
 
 let test_pir_end_to_end () =
   let s, keys = populated_store 40 in
-  let server0 = Server.create (Store.db s) and server1 = Server.create (Store.db s) in
+  let server0 = Server.of_snapshot (Store.snapshot s) and server1 = Server.of_snapshot (Store.snapshot s) in
   List.iter
     (fun key ->
       let q = Client.query_key ~keymap:(Store.keymap s) ~key (rng ()) in
@@ -239,7 +239,7 @@ let test_pir_end_to_end () =
 
 let test_pir_absent_key () =
   let s, _ = populated_store 10 in
-  let server = Server.create (Store.db s) in
+  let server = Server.of_snapshot (Store.snapshot s) in
   let key = "missing.example/xyz" in
   match Store.find s key with
   | Some _ -> () (* extremely unlikely collision; nothing to assert *)
@@ -251,7 +251,7 @@ let test_pir_absent_key () =
 
 let test_pir_batch_matches_single () =
   let s, keys = populated_store 20 in
-  let server = Server.create (Store.db s) in
+  let server = Server.of_snapshot (Store.snapshot s) in
   let queries =
     Array.of_list
       (List.map (fun key -> Client.query_key ~keymap:(Store.keymap s) ~key (rng ())) keys)
@@ -267,7 +267,7 @@ let test_pir_batch_matches_single () =
 
 let test_pir_server_response_uniform_size () =
   let s, keys = populated_store 15 in
-  let server = Server.create (Store.db s) in
+  let server = Server.of_snapshot (Store.snapshot s) in
   let sizes =
     List.map
       (fun key ->
@@ -279,7 +279,7 @@ let test_pir_server_response_uniform_size () =
 
 let test_pir_serialized_entry_point () =
   let s, keys = populated_store 5 in
-  let server = Server.create (Store.db s) in
+  let server = Server.of_snapshot (Store.snapshot s) in
   let key = List.hd keys in
   let q = Client.query_key ~keymap:(Store.keymap s) ~key (rng ()) in
   (match Server.answer_serialized server (Lw_dpf.Dpf.serialize q.Client.key0) with
@@ -329,7 +329,7 @@ let test_pir_single_server_view_independent () =
      share, which is generated independently of alpha given one share.
      We verify shares for different alphas have indistinguishable weight. *)
   let s, _ = populated_store ~domain_bits:10 5 in
-  let server = Server.create (Store.db s) in
+  let server = Server.of_snapshot (Store.snapshot s) in
   ignore server;
   let weight alpha =
     let q = Client.query_index ~domain_bits:10 ~index:alpha (rng ()) in
@@ -363,7 +363,7 @@ let prop_pir_roundtrip =
       match Store.insert s ~key ~value with
       | Error _ -> QCheck.assume_fail ()
       | Ok () ->
-          let server = Server.create (Store.db s) in
+          let server = Server.of_snapshot (Store.snapshot s) in
           let q = Client.query_key ~keymap:(Store.keymap s) ~key (rng ()) in
           let resp0 = Server.answer server q.Client.key0 in
           let resp1 = Server.answer server q.Client.key1 in
