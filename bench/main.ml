@@ -1345,9 +1345,11 @@ let e22_store_updates ?(write_json = true) () =
     for i = 0 to answers - 1 do
       let t0 = Unix.gettimeofday () in
       let snap = Lw_store.pin_latest st in
-      let srv = Lw_pir.Server.of_snapshot snap in
-      ignore (Lw_pir.Server.answer srv keys.(i land 15));
-      Lw_store.unpin st snap;
+      Fun.protect
+        ~finally:(fun () -> Lw_store.unpin st snap)
+        (fun () ->
+          let srv = Lw_pir.Server.of_snapshot snap in
+          ignore (Lw_pir.Server.answer srv keys.(i land 15)));
       lat.(i) <- (Unix.gettimeofday () -. t0) *. 1000.
     done;
     Atomic.set stop true;
@@ -1420,6 +1422,72 @@ let e22_store_updates ?(write_json = true) () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E23: the full static pass — lexer rules plus the AST taint, race    *)
+(* and balance analyses — over lib/ bin/ bench/, checked against the   *)
+(* committed baseline and a 10 s wall-clock budget. This is the cost   *)
+(* every CI run and every `dune build @lint` pays.                     *)
+(* ------------------------------------------------------------------ *)
+
+let e23_full_lint ?(write_json = true) () =
+  section "E23" "full AST lint (taint + race + balance) over lib/ bin/ bench/";
+  let roots =
+    List.filter_map Lw_analysis.Analyzer.resolve_dir [ "lib"; "bin"; "bench" ]
+  in
+  if roots = [] then Printf.printf "sources not reachable from cwd; skipping.\n"
+  else begin
+    let reps = if fast then 1 else 3 in
+    let best = ref None in
+    for _ = 1 to reps do
+      let r = Lw_analysis.Analyzer.scan_paths roots in
+      match !best with
+      | Some (b : Lw_analysis.Report.t) when b.elapsed_s <= r.elapsed_s -> ()
+      | _ -> best := Some r
+    done;
+    let r = Option.get !best in
+    let baseline =
+      match Lw_analysis.Analyzer.resolve_file "lint_baseline.txt" with
+      | Some f -> Lw_analysis.Baseline.load f
+      | None -> []
+    in
+    let fresh, accepted = Lw_analysis.Baseline.apply baseline r.findings in
+    let budget_ms = 10_000. in
+    let elapsed_ms = 1000. *. r.elapsed_s in
+    let within = elapsed_ms < budget_ms in
+    row "%-20s %8d (over %d root dirs)\n" "files scanned"
+      r.Lw_analysis.Report.files_scanned (List.length roots);
+    row "%-20s %8d\n" "findings" (List.length r.findings);
+    row "%-20s %8d\n" "fresh vs baseline" (List.length fresh);
+    row "%-20s %8d\n" "baselined" accepted;
+    row "%-20s %8d\n" "suppressed" r.suppressed;
+    row "%-20s %8.1f ms (best of %d) — %s the %.0f s budget\n" "wall-clock"
+      elapsed_ms reps
+      (if within then "within" else "OVER")
+      (budget_ms /. 1000.);
+    if write_json then begin
+      let open Json in
+      let j =
+        Obj
+          [
+            ("experiment", String "E23");
+            ("files", Number (float_of_int r.files_scanned));
+            ("findings", Number (float_of_int (List.length r.findings)));
+            ("fresh", Number (float_of_int (List.length fresh)));
+            ("baselined", Number (float_of_int accepted));
+            ("suppressed", Number (float_of_int r.suppressed));
+            ("elapsed_ms", Number elapsed_ms);
+            ("budget_ms", Number budget_ms);
+            ("within_budget", Bool within);
+          ]
+      in
+      let oc = open_out "BENCH_lint.json" in
+      output_string oc (to_string ~pretty:true j);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote BENCH_lint.json\n"
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
 
 (* `--metrics` (combinable with any mode) ends the run with a Prometheus
    text dump of the whole lw_obs registry — after `--chaos` it shows the
@@ -1446,6 +1514,9 @@ let obs_only = Array.exists (fun a -> a = "--obs") Sys.argv
 (* `--store` runs only E22 and writes BENCH_store.json *)
 let store_only = Array.exists (fun a -> a = "--store") Sys.argv
 
+(* `--lint` runs only E23 and writes BENCH_lint.json *)
+let lint_only = Array.exists (fun a -> a = "--lint") Sys.argv
+
 let () =
   if smoke then begin
     Printf.printf "lightweb benchmark harness (--smoke: E19 only, tiny geometry)\n";
@@ -1465,6 +1536,11 @@ let () =
   else if store_only then begin
     Printf.printf "lightweb benchmark harness (--store: E22 only)\n";
     e22_store_updates ();
+    dump_metrics_if_asked ()
+  end
+  else if lint_only then begin
+    Printf.printf "lightweb benchmark harness (--lint: E23 only)\n";
+    e23_full_lint ();
     dump_metrics_if_asked ()
   end
   else begin
@@ -1502,6 +1578,7 @@ let () =
   e20_chaos_tail_latency ();
   e21_obs_overhead ();
   e22_store_updates ();
+  e23_full_lint ();
   dump_metrics_if_asked ();
   Printf.printf "\nall experiments complete.\n"
   end

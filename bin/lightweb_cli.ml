@@ -14,10 +14,27 @@ module Json = Lw_json.Json
 open Lightweb
 open Cmdliner
 
+(* Both endpoints either end up owned by the client (which closes them
+   on [close]/failover) or are closed here when the second dial or the
+   handshake fails — a half-connected pair never leaks a socket. *)
 let connect_pair ~host ~port =
   let e0 = Lw_net.Tcp.connect ~host ~port () in
-  let e1 = Lw_net.Tcp.connect ~host ~port:(port + 1) () in
-  Zltp_client.connect [ e0; e1 ]
+  let e1 =
+    try Lw_net.Tcp.connect ~host ~port:(port + 1) ()
+    with e ->
+      e0.Lw_net.Endpoint.close ();
+      raise e
+  in
+  match Zltp_client.connect [ e0; e1 ] with
+  | Ok _ as ok -> ok
+  | Error _ as err ->
+      e0.Lw_net.Endpoint.close ();
+      e1.Lw_net.Endpoint.close ();
+      err
+  | exception e ->
+      e0.Lw_net.Endpoint.close ();
+      e1.Lw_net.Endpoint.close ();
+      raise e
 
 (* ---------------- universe assembly ---------------- *)
 

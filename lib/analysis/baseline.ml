@@ -1,0 +1,97 @@
+(* Checked-in lint baseline: accepted findings that must not block CI,
+   stored one per line as `rule<TAB>path<TAB>message`. Entries carry no
+   line numbers — the key is (rule, normalized path, message) — so the
+   baseline survives unrelated line churn; a finding whose message
+   changes is a new finding and must be fixed or re-accepted
+   deliberately.
+
+   Paths are normalized to start at a known repo root (lib/, bin/,
+   bench/, test/) so the same baseline matches scans run from the
+   source tree, from dune's _build sandbox, or with ../-style
+   prefixes. *)
+
+let roots = [ "lib"; "bin"; "bench"; "test"; "examples" ]
+
+let normalize_path p =
+  let segs =
+    List.filter (fun s -> s <> "" && s <> ".") (String.split_on_char '/' p)
+  in
+  let rec find = function
+    | [] -> None
+    | s :: _ as l when List.mem s roots -> Some l
+    | _ :: rest -> find rest
+  in
+  match find segs with
+  | Some l -> String.concat "/" l
+  | None -> String.concat "/" (List.filter (fun s -> s <> "..") segs)
+
+type entry = { b_rule : string; b_file : string; b_message : string }
+
+let key_of_finding (f : Report.finding) =
+  (f.rule, normalize_path f.file, f.message)
+
+let parse_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else
+    match String.split_on_char '\t' line with
+    | rule :: file :: rest when rest <> [] ->
+        Some
+          {
+            b_rule = rule;
+            b_file = normalize_path file;
+            b_message = String.concat "\t" rest;
+          }
+    | _ -> None
+
+let load path =
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let entries = ref [] in
+          (try
+             while true do
+               match parse_line (input_line ic) with
+               | Some e -> entries := e :: !entries
+               | None -> ()
+             done
+           with End_of_file -> ());
+          List.rev !entries)
+
+(* Split findings into (fresh, accepted-count) against the baseline. *)
+let apply entries findings =
+  let set = Hashtbl.create (List.length entries * 2 + 1) in
+  List.iter
+    (fun e -> Hashtbl.replace set (e.b_rule, e.b_file, e.b_message) ())
+    entries;
+  let fresh, accepted =
+    List.partition
+      (fun f -> not (Hashtbl.mem set (key_of_finding f)))
+      findings
+  in
+  (fresh, List.length accepted)
+
+let save path findings =
+  let lines =
+    List.sort_uniq compare
+      (List.map
+         (fun (f : Report.finding) ->
+           Printf.sprintf "%s\t%s\t%s" f.rule (normalize_path f.file) f.message)
+         findings)
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc
+        "# lw_lint baseline: accepted findings (rule<TAB>file<TAB>message).\n\
+         # Regenerate with `dune exec bin/lw_lint.exe -- --write-baseline`;\n\
+         # review the diff — a new entry is a deliberate acceptance.\n";
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        lines)

@@ -113,42 +113,6 @@ let try_quoted_string cur =
   end
   else false
 
-(* Comment body with nesting; cursor is just past the opening "(*".
-   Strings inside comments are skipped like real OCaml comments do, so a
-   "*)" inside a quoted string does not close the comment. *)
-let read_comment_body cur =
-  let buf = Buffer.create 32 in
-  let depth = ref 1 in
-  let rec go () =
-    match peek cur with
-    | None -> ()
-    | Some '(' when peek_at cur 1 = Some '*' ->
-        incr depth;
-        Buffer.add_string buf "(*";
-        advance cur;
-        advance cur;
-        go ()
-    | Some '*' when peek_at cur 1 = Some ')' ->
-        advance cur;
-        advance cur;
-        decr depth;
-        if !depth > 0 then begin
-          Buffer.add_string buf "*)";
-          go ()
-        end
-    | Some '"' ->
-        Buffer.add_char buf '"';
-        advance cur;
-        skip_string_body cur;
-        go ()
-    | Some c ->
-        Buffer.add_char buf c;
-        advance cur;
-        go ()
-  in
-  go ();
-  Buffer.contents buf
-
 (* Character literal vs. type variable, cursor on the opening quote.
    'a' / '\n' / '\xff' are literals; 'a in [type 'a t] is not. *)
 let is_char_literal cur =
@@ -178,6 +142,63 @@ let skip_char_literal cur =
   | Some _ -> advance cur
   | None -> ());
   match peek cur with Some '\'' -> advance cur | _ -> ()
+
+(* Comment body with nesting; cursor is just past the opening "(*".
+   Literals inside comments are skipped exactly as the real OCaml lexer
+   skips them: a "*)" inside a double-quoted string, a {|quoted|}
+   string, or a character literal ('"' being the nasty case — its quote
+   must not start string-skipping) never closes the comment, and an
+   unbalanced quote inside a char literal cannot swallow code after the
+   comment. The skipped literal text is kept in the body verbatim so
+   pragma parsing still sees the whole comment. *)
+let read_comment_body cur =
+  let buf = Buffer.create 32 in
+  let depth = ref 1 in
+  let add_span start = Buffer.add_string buf (String.sub cur.src start (cur.pos - start)) in
+  let rec go () =
+    match peek cur with
+    | None -> ()
+    | Some '(' when peek_at cur 1 = Some '*' ->
+        incr depth;
+        Buffer.add_string buf "(*";
+        advance cur;
+        advance cur;
+        go ()
+    | Some '*' when peek_at cur 1 = Some ')' ->
+        advance cur;
+        advance cur;
+        decr depth;
+        if !depth > 0 then begin
+          Buffer.add_string buf "*)";
+          go ()
+        end
+    | Some '"' ->
+        Buffer.add_char buf '"';
+        advance cur;
+        let start = cur.pos in
+        skip_string_body cur;
+        add_span start;
+        go ()
+    | Some '\'' when is_char_literal cur ->
+        let start = cur.pos in
+        skip_char_literal cur;
+        add_span start;
+        go ()
+    | Some '{' ->
+        let start = cur.pos in
+        if try_quoted_string cur then add_span start
+        else begin
+          Buffer.add_char buf '{';
+          advance cur
+        end;
+        go ()
+    | Some c ->
+        Buffer.add_char buf c;
+        advance cur;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
 
 let read_ident cur =
   let start = cur.pos in

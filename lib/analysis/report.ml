@@ -7,17 +7,18 @@ type t = {
   files_scanned : int;
   findings : finding list; (* unsuppressed, in file/line order *)
   suppressed : int; (* findings silenced by lw-lint pragmas *)
+  baselined : int; (* findings accepted by the checked-in baseline *)
   elapsed_s : float;
 }
 
-let make ~files_scanned ~findings ~suppressed ~elapsed_s =
+let make ?(baselined = 0) ~files_scanned ~findings ~suppressed ~elapsed_s () =
   let ordered =
     List.sort
       (fun a b ->
         match String.compare a.file b.file with 0 -> compare a.line b.line | c -> c)
       findings
   in
-  { files_scanned; findings = ordered; suppressed; elapsed_s }
+  { files_scanned; findings = ordered; suppressed; baselined; elapsed_s }
 
 let clean t = t.findings = []
 
@@ -39,6 +40,7 @@ let to_json t =
       ("findings", Json.List (List.map finding_to_json t.findings));
       ("finding_count", Json.Number (float_of_int (List.length t.findings)));
       ("suppressed", Json.Number (float_of_int t.suppressed));
+      ("baselined", Json.Number (float_of_int t.baselined));
       ("elapsed_ms", Json.Number (t.elapsed_s *. 1000.));
     ]
 
@@ -51,10 +53,11 @@ let to_human t =
     (fun f -> Buffer.add_string buf (Format.asprintf "%a\n" pp_finding f))
     t.findings;
   Buffer.add_string buf
-    (Printf.sprintf "%d file%s scanned, %d finding%s (%d suppressed), %.1f ms\n"
+    (Printf.sprintf
+       "%d file%s scanned, %d finding%s (%d suppressed, %d baselined), %.1f ms\n"
        t.files_scanned
        (if t.files_scanned = 1 then "" else "s")
        (List.length t.findings)
        (if List.length t.findings = 1 then "" else "s")
-       t.suppressed (t.elapsed_s *. 1000.));
+       t.suppressed t.baselined (t.elapsed_s *. 1000.));
   Buffer.contents buf

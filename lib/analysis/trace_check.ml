@@ -100,10 +100,15 @@ let check_bucket_scan ?(domain_bits = 6) ?(bucket_size = 32) ?(alphas = [ 3; 47 
       List.concat_map
         (fun alpha ->
           List.concat_map
+            (* the checker's whole job is to branch on whether the
+               key-derived trace matches the public full walk; this runs
+               in tests, never on an answer path *)
+            (* lw-lint: allow taint lines=2 *)
             (fun trace -> if trace = expected then [] else [ alpha ])
             (scan_traces ~domain_bits ~bucket_size alpha))
         alphas
     in
+    (* lw-lint: allow taint *)
     match failures with
     | [] -> Ok ()
     | alpha :: _ ->

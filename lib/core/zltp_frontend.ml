@@ -95,13 +95,22 @@ let copy_slice t snap shard ranges =
 
 let of_store st ~shard_bits =
   let snap = Lw_store.pin_latest st in
+  (* the pin is only recorded in [t.pinned] once the copies are done; if
+     anything in between raises, release it instead of leaking the epoch *)
   let t =
-    create ~domain_bits:(Lw_store.domain_bits st) ~shard_bits
-      ~bucket_size:(Lw_store.bucket_size st)
+    try
+      let t =
+        create ~domain_bits:(Lw_store.domain_bits st) ~shard_bits
+          ~bucket_size:(Lw_store.bucket_size st)
+      in
+      for shard = 0 to Array.length t.shards - 1 do
+        copy_slice t snap shard None
+      done;
+      t
+    with e ->
+      Lw_store.unpin st snap;
+      raise e
   in
-  for shard = 0 to Array.length t.shards - 1 do
-    copy_slice t snap shard None
-  done;
   t.pinned <- Some (st, snap);
   Lw_obs.Metrics.set g_epoch (float_of_int (announced_epoch t));
   t
@@ -123,22 +132,32 @@ let refresh ?abort_after t =
     | None -> invalid_arg "Zltp_frontend.refresh: front-end not backed by a store"
   in
   let snap = Lw_store.pin_latest st in
-  let new_epoch = Lw_store.Snapshot.epoch snap in
-  let old_epoch = Lw_store.Snapshot.epoch old_snap in
-  let diff = lazy (Lw_store.Snapshot.diff_ranges old_snap snap) in
-  let updated = ref 0 in
-  let budget = Option.value abort_after ~default:max_int in
-  for shard = 0 to Array.length t.shards - 1 do
-    if t.epochs.(shard) <> new_epoch && !updated < budget then begin
-      if t.epochs.(shard) = old_epoch then copy_slice t snap shard (Some (Lazy.force diff))
-      else copy_slice t snap shard None;
-      incr updated
-    end
-  done;
+  (* the new pin replaces the old one only after the copies; if a copy
+     raises, release the new pin and leave the old state in place *)
+  let updated =
+    try
+      let new_epoch = Lw_store.Snapshot.epoch snap in
+      let old_epoch = Lw_store.Snapshot.epoch old_snap in
+      let diff = lazy (Lw_store.Snapshot.diff_ranges old_snap snap) in
+      let updated = ref 0 in
+      let budget = Option.value abort_after ~default:max_int in
+      for shard = 0 to Array.length t.shards - 1 do
+        if t.epochs.(shard) <> new_epoch && !updated < budget then begin
+          if t.epochs.(shard) = old_epoch then
+            copy_slice t snap shard (Some (Lazy.force diff))
+          else copy_slice t snap shard None;
+          incr updated
+        end
+      done;
+      !updated
+    with e ->
+      Lw_store.unpin st snap;
+      raise e
+  in
   t.pinned <- Some (st, snap);
   Lw_obs.Metrics.set g_epoch (float_of_int (announced_epoch t));
   Lw_store.unpin st old_snap;
-  !updated
+  updated
 
 let shards_down t =
   Array.fold_left (fun n d -> if d then n + 1 else n) 0 t.down
@@ -314,6 +333,11 @@ let answer_parallel_timed ?num_domains ?fault t k =
   let elapsed = Array.make n 0. in
   let next = Atomic.make 0 in
   let clock = Lw_obs.Span.clock () in
+  (* Each worker claims distinct indices through [Atomic.fetch_and_add],
+     so the [shares] and [elapsed] writes below are disjoint by
+     construction, and the joins before the combine give this domain the
+     happens-before edge back; no lock is needed. *)
+  (* lw-lint: allow race lines=16 *)
   let worker () =
     let rec go () =
       let i = Atomic.fetch_and_add next 1 in

@@ -40,7 +40,7 @@ let gen ?(prg = Prg.default) ?value ~domain_bits ~alpha rng =
   if domain_bits < 1 || domain_bits > max_domain_bits then
     invalid_arg "Dpf.gen: domain_bits out of range";
   (* domain bound check: public bounds, rejected before any use *)
-  if alpha < 0 || alpha >= 1 lsl domain_bits then (* lw-lint: allow secret-branch *)
+  if alpha < 0 || alpha >= 1 lsl domain_bits then (* lw-lint: allow secret-branch taint *)
     invalid_arg "Dpf.gen: alpha out of domain";
   let value_len = match value with None -> 0 | Some v -> String.length v in
   let d = domain_bits in
@@ -61,23 +61,36 @@ let gen ?(prg = Prg.default) ?value ~domain_bits ~alpha rng =
     let tl0 = bits0 land 1 and tr0 = bits0 lsr 1 in
     let tl1 = bits1 land 1 and tr1 = bits1 lsr 1 in
     let alpha_bit = Lw_util.Bitops.bit_msb alpha ~width:d level in
-    (* keep = the child alpha descends into; lose = the other — offsets
-       derived arithmetically so no branch follows the secret bit *)
-    let keep_off = 16 * alpha_bit in
-    let lose_off = 16 - keep_off in
+    (* keep = the child alpha descends into; lose = the other. Both
+       halves of each expansion are read on every level and combined
+       through the splatted mask, so neither the offsets touched nor
+       the instructions executed follow the secret bit. *)
+    let m = (0 - alpha_bit) land 0xff in
+    let sel_keep c i =
+      (Char.code (Bytes.get c i) land lnot m)
+      lor (Char.code (Bytes.get c (16 + i)) land m)
+    in
+    let sel_lose c i =
+      (Char.code (Bytes.get c i) land m)
+      lor (Char.code (Bytes.get c (16 + i)) land lnot m)
+    in
     for i = 0 to 15 do
       Bytes.set cw_seeds ((16 * level) + i)
-        (Char.unsafe_chr
-           (Char.code (Bytes.get c0 (lose_off + i)) lxor Char.code (Bytes.get c1 (lose_off + i))))
+        (Char.unsafe_chr (sel_lose c0 i lxor sel_lose c1 i))
     done;
     let tl_cw = tl0 lxor tl1 lxor alpha_bit lxor 1 in
     let tr_cw = tr0 lxor tr1 lxor alpha_bit in
     Bytes.set cw_bits level (Char.chr (tl_cw lor (tr_cw lsl 1)));
     let tkeep_cw = pick_int alpha_bit tl_cw tr_cw in
     let step s c t tkeep =
-      Bytes.blit c keep_off s 0 16;
-      if t = 1 then
-        Lw_util.Xorbuf.xor_into ~src:cw_seeds ~src_pos:(16 * level) ~dst:s ~dst_pos:0 ~len:16;
+      for i = 0 to 15 do
+        Bytes.set s i (Char.unsafe_chr (sel_keep c i))
+      done;
+      (* the correction is applied under a mask splatted from the
+         control bit: same XOR work whether t is 0 or 1 *)
+      Lw_util.Xorbuf.xor_into_masked
+        ~mask:((0 - (t land 1)) land 0xff)
+        ~src:cw_seeds ~src_pos:(16 * level) ~dst:s ~dst_pos:0 ~len:16;
       tkeep lxor (t land tkeep_cw)
     in
     let tkeep0 = pick_int alpha_bit tl0 tr0 in
@@ -193,8 +206,13 @@ let eval_bits_blocked k ~block_bits f =
       fill top seed_buf pos 0 t;
       f (prefix lsl block_bits) buf block)
 
+(* Diagnostic only: recovering the selected support from the leaf bits
+   is inherently selection-dependent control flow, and this helper never
+   runs on the server answer path — tests and debugging use it to check
+   a key's point function. *)
 let selected_indices k =
   let acc = ref [] in
+  (* lw-lint: allow taint *)
   eval_all_bits k (fun x t -> if t = 1 then acc := x :: !acc);
   List.rev !acc
 
