@@ -188,6 +188,68 @@ let check_batch_scan ?(domain_bits = 5) ?(bucket_size = 24)
           end)
 
 (* ------------------------------------------------------------------ *)
+(* Domain-partitioned scan (PIR mode)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The parallel scan splits the bucket range into 2^levels aligned
+   partitions and rebases the key per partition. Each partition's kernel
+   still walks its sub-range front to back, so on the deterministic
+   serial schedule ([answer_partitioned], ascending partition order) the
+   observable trace must be exactly the full in-order walk — the same
+   shape the single-threaded scan leaves. Anything else (a skipped
+   bucket, a partition whose walk depends on the secret index) would
+   hand a memory adversary a distinguisher; the real multi-domain path
+   runs the identical per-partition kernels, only interleaved by the
+   scheduler, so per-worker traces inherit this shape. The answer must
+   also stay bit-identical to the serial scan. *)
+let partitioned_scan_traces ~domain_bits ~bucket_size ~partitions alpha =
+  let db = Lw_pir.Bucket_db.create ~domain_bits ~bucket_size in
+  Lw_pir.Bucket_db.fill_random db (Lw_util.Det_rng.of_string_seed "trace-check-db");
+  let server = Lw_pir.Server.create db in
+  let rng = Lw_crypto.Drbg.create ~seed:"trace-check-dpf" in
+  let k0, k1 = Lw_dpf.Dpf.gen ~domain_bits ~alpha rng in
+  List.map
+    (fun k ->
+      let serial = Lw_pir.Server.answer server k in
+      Lw_pir.Bucket_db.set_tracing db true;
+      let share = Lw_pir.Server.answer_partitioned ~partitions server k in
+      let t = Lw_pir.Bucket_db.access_trace db in
+      Lw_pir.Bucket_db.set_tracing db false;
+      (t, String.equal share serial))
+    [ k0; k1 ]
+
+let check_partitioned_scan ?(domain_bits = 6) ?(bucket_size = 32)
+    ?(partition_counts = [ 2; 4; 8 ]) ?(alphas = [ 3; 47 ]) () =
+  if List.length alphas < 2 then err "check_partitioned_scan: need >= 2 distinct keys"
+  else begin
+    let expected = List.init (1 lsl domain_bits) Fun.id in
+    let rec check = function
+      | [] -> Ok ()
+      | (partitions, alpha) :: rest ->
+          let probes =
+            partitioned_scan_traces ~domain_bits ~bucket_size ~partitions alpha
+          in
+          (* same taint-lint situation as [check_bucket_scan]: comparing a
+             key-derived trace against the public walk is this checker's
+             entire purpose *)
+          (* lw-lint: allow taint lines=10 *)
+          let bad_trace = List.exists (fun (t, _) -> t <> expected) probes in
+          let bad_share = List.exists (fun (_, ok) -> not ok) probes in
+          if bad_trace then
+            err
+              "partitioned scan trace (partitions=%d, alpha=%d) is not the full \
+               in-order walk"
+              partitions alpha
+          else if bad_share then
+            err "partitioned answer (partitions=%d, alpha=%d) differs from serial"
+              partitions alpha
+          else check rest
+    in
+    check
+      (List.concat_map (fun p -> List.map (fun a -> (p, a)) alphas) partition_counts)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* CoW snapshot scan vs. flat Bucket_db                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -394,6 +456,9 @@ let check_all () =
           match check_batch_scan () with
           | Error _ as e -> e
           | Ok () -> (
-              match check_snapshot_scan () with
+              match check_partitioned_scan () with
               | Error _ as e -> e
-              | Ok () -> check_retry ())))
+              | Ok () -> (
+                  match check_snapshot_scan () with
+                  | Error _ as e -> e
+                  | Ok () -> check_retry ()))))

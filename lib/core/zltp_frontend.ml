@@ -1,3 +1,13 @@
+(* Interior node of the hierarchical fan-out tree: an [Inner] node owns
+   [levels] bits of the shard index and splits an incoming key once into
+   [2^levels] sub-keys ([Distributed.split], i.e. [Dpf.eval_prefixes] +
+   [make_subkey]); a [Leaf] hands its sub-key to one data shard. Re-basing
+   composes, so the key a leaf receives is bit-identical to the one the
+   flat [Distributed.split] fan-out would have produced. *)
+type tree_node = Leaf of int | Inner of { levels : int; children : tree_node array }
+
+type tree_rep = { root : tree_node; tdepth : int; tnodes : int }
+
 type t = {
   domain_bits : int;
   shard_bits : int;
@@ -12,9 +22,16 @@ type t = {
   shard_hist : Lw_obs.Metrics.histogram array;
       (* per-shard answer latency; shared by name across front-ends of the
          same width, which is what an operator wants from a process dump *)
+  mutable scan_domains : int;
+      (* workers each shard's scan kernel may use (Server.answer_domains);
+         1 = the serial fused kernel *)
+  mutable tree : (int * tree_rep) option;
+      (* (fanout_bits, tree): when set, single-key answers route through
+         the hierarchical fan-out instead of the flat split *)
 }
 
 let m_answers = Lw_obs.Metrics.counter "zltp.frontend.answers"
+let m_tree_answers = Lw_obs.Metrics.counter "zltp.frontend.tree_answers"
 let m_batch_queries = Lw_obs.Metrics.counter "zltp.frontend.batch_queries"
 let m_refusals = Lw_obs.Metrics.counter "zltp.frontend.degraded_refusals"
 let m_epoch_refusals = Lw_obs.Metrics.counter "zltp.frontend.epoch_refusals"
@@ -41,6 +58,8 @@ let create ~domain_bits ~shard_bits ~bucket_size =
     epochs = Array.make (1 lsl shard_bits) 0;
     pinned = None;
     shard_hist = Array.init (1 lsl shard_bits) shard_histogram;
+    scan_domains = 1;
+    tree = None;
   }
 
 let of_db db ~shard_bits =
@@ -59,6 +78,7 @@ let domain_bits t = t.domain_bits
 let shard_bits t = t.shard_bits
 let shard_count t = Array.length t.shards
 let bucket_size t = t.bucket_size
+let shard_histograms t = Array.copy t.shard_hist
 
 (* ---- epoch bookkeeping over the versioned engine ---- *)
 
@@ -235,17 +255,102 @@ let timed_shard t i f =
   end
   else f ()
 
+(* ---- shard-level scan parallelism knob ---- *)
+
+let set_scan_domains t n =
+  if n < 1 then invalid_arg "Zltp_frontend.set_scan_domains: need at least one domain";
+  t.scan_domains <- n
+
+let scan_domains t = t.scan_domains
+
+(* One shard's contribution, through the parallel scan kernel when the
+   knob asks for it (Server.answer_domains applies its own work-size
+   cutoff, so small shards stay on the serial kernel either way). *)
+let answer_shard t i sub =
+  if t.scan_domains > 1 then
+    Lw_pir.Server.answer_domains ~domains:t.scan_domains t.shards.(i) sub
+  else Lw_pir.Server.answer t.shards.(i) sub
+
+let answer_batch_shard t i subs =
+  if t.scan_domains > 1 then
+    Lw_pir.Server.answer_batch_domains ~domains:t.scan_domains t.shards.(i) subs
+  else Lw_pir.Server.answer_batch t.shards.(i) subs
+
+(* ---- hierarchical fan-out tree ---- *)
+
+let build_tree t fanout_bits =
+  if fanout_bits < 1 then invalid_arg "Zltp_frontend.set_tree_fanout: fanout_bits must be >= 1";
+  let nodes = ref 0 and depth = ref 0 in
+  let rec mk level levels_left base =
+    incr nodes;
+    if level > !depth then depth := level;
+    if levels_left = 0 then Leaf base
+    else begin
+      let b = min fanout_bits levels_left in
+      let rem = levels_left - b in
+      Inner
+        {
+          levels = b;
+          children = Array.init (1 lsl b) (fun i -> mk (level + 1) rem (base lor (i lsl rem)));
+        }
+    end
+  in
+  let root = mk 0 t.shard_bits 0 in
+  { root; tdepth = !depth; tnodes = !nodes }
+
+let set_tree_fanout t fanout =
+  match fanout with
+  | None -> t.tree <- None
+  | Some b -> t.tree <- Some (b, build_tree t b)
+
+let tree_fanout t = Option.map fst t.tree
+let tree_depth t = match t.tree with Some (_, r) -> r.tdepth | None -> 0
+let tree_nodes t = match t.tree with Some (_, r) -> r.tnodes | None -> 0
+
+(* Walk the tree: an interior node pays one [2^levels]-way key split —
+   O(2^fanout) small-prefix DPF expansions — and each leaf pays only its
+   shard's small-domain evaluation, so one query reaches N shards with
+   O(N) interior splits of depth O(log N) instead of N full-domain
+   evaluations at the root. Sub-key re-basing composes (the child key of
+   a child key shares the original correction words), so the shares this
+   walk XORs are bit-identical to the flat fan-out's. *)
+let answer_via_tree t rep k =
+  let rec go node key =
+    match node with
+    | Leaf s -> timed_shard t s (fun () -> answer_shard t s key)
+    | Inner { levels; children } ->
+        let subs = Lw_dpf.Distributed.split key ~shard_bits:levels in
+        let acc = Bytes.make t.bucket_size '\x00' in
+        Array.iteri
+          (fun i child ->
+            (* the branches [go] takes are on the PUBLIC tree shape
+               (Leaf/Inner) and scan config, never on key bits — the
+               interprocedural taint over-approximates here *)
+            (* lw-lint: allow taint lines=1 *)
+            let share = go child subs.(i) in
+            Lw_util.Xorbuf.xor_string_into ~src:share ~src_pos:0 ~dst:acc ~dst_pos:0
+              ~len:t.bucket_size)
+          children;
+        Bytes.unsafe_to_string acc
+  in
+  Lw_obs.Metrics.incr m_tree_answers;
+  go rep.root k
+
 let answer t k =
   check_key t k;
   Lw_obs.Span.with_ ~name:"zltp.frontend.answer" (fun () ->
-      let subs = Lw_dpf.Distributed.split k ~shard_bits:t.shard_bits in
-      let shares =
-        Array.mapi
-          (fun i sub -> timed_shard t i (fun () -> Lw_pir.Server.answer t.shards.(i) sub))
-          subs
+      let share =
+        match t.tree with
+        | Some (_, rep) -> answer_via_tree t rep k
+        | None ->
+            let subs = Lw_dpf.Distributed.split k ~shard_bits:t.shard_bits in
+            let shares =
+              Array.mapi (fun i sub -> timed_shard t i (fun () -> answer_shard t i sub)) subs
+            in
+            combine_shares t shares
       in
       Lw_obs.Metrics.incr m_answers;
-      combine_shares t shares)
+      share)
 
 let answer_result t k =
   match check_down t with
@@ -276,9 +381,12 @@ let answer_batch t keys =
         in
         let by_shard =
           Array.mapi
-            (fun s shard ->
+            (fun s _shard ->
+              (* [answer_batch_shard] branches only on [t.scan_domains],
+                 public serving config — not on the sub-keys *)
+              (* lw-lint: allow taint lines=2 *)
               timed_shard t s (fun () ->
-                  Lw_pir.Server.answer_batch shard (Array.map (fun sub -> sub.(s)) subs)))
+                  answer_batch_shard t s (Array.map (fun sub -> sub.(s)) subs)))
             t.shards
         in
         Lw_obs.Metrics.add m_batch_queries n;

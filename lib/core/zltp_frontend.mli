@@ -34,6 +34,51 @@ val shard_bits : t -> int
 val shard_count : t -> int
 val bucket_size : t -> int
 
+val shard_histograms : t -> Lw_obs.Metrics.histogram array
+(** The per-shard answer-latency histograms
+    ([zltp.frontend.shardNN.answer_seconds]), indexed by shard — what
+    {!Lw_obs.Metrics.merge_into} folds into one fleet-wide view. *)
+
+(** {2 Scan parallelism}
+
+    Per-shard scans can run on OCaml domains
+    ({!Lw_pir.Server.answer_domains}); the knob applies to every answer
+    path, and {!Lw_pir.Server.parallel_cutoff_bytes} keeps small shards
+    on the serial kernel regardless. *)
+
+val set_scan_domains : t -> int -> unit
+(** Workers each shard's scan may use; 1 (the default) is the serial
+    fused kernel. Raises [Invalid_argument] when [< 1]. *)
+
+val scan_domains : t -> int
+
+(** {2 Hierarchical fan-out tree}
+
+    With a fanout set, single-key answers route through a tree of
+    interior nodes, each splitting its incoming key once into
+    [2^fanout_bits] sub-keys ({!Lw_dpf.Dpf.eval_prefixes} +
+    {!Lw_dpf.Dpf.make_subkey}); leaves hand their sub-key to one data
+    shard. A query thus reaches [N] shards with [O(log N)]-deep splits
+    plus per-shard small-domain work instead of [N] full-domain
+    evaluations, and the XOR of the leaf shares is bit-identical to the
+    flat fan-out. Down-shard and mixed-epoch refusals are checked in the
+    [_result] entry points before any walk, so they survive the tree
+    unchanged. *)
+
+val set_tree_fanout : t -> int option -> unit
+(** [Some fanout_bits] builds (and routes answers through) the tree;
+    [None] restores the flat split. Raises [Invalid_argument] when
+    [fanout_bits < 1]. *)
+
+val tree_fanout : t -> int option
+
+val tree_depth : t -> int
+(** Interior levels of the active tree ([ceil (shard_bits /
+    fanout_bits)]); 0 without a tree. *)
+
+val tree_nodes : t -> int
+(** Total tree nodes including leaves; 0 without a tree. *)
+
 (** {2 Shard epochs}
 
     Shares computed against different epochs XOR into silent garbage

@@ -13,14 +13,31 @@ type t = {
   blob_size : int;
   hash_key : string;
   server_id : string;
+  scan_domains : int;
+      (* workers the flat/versioned backends' scan kernels may use
+         (Server.answer_domains); a sharded backend carries its own knob
+         on the front-end *)
   mutable queries : int;
 }
 
 let default_hash_key = String.sub (Lw_crypto.Sha256.digest "lw-pir-store-default") 0 16
 
-let create ?(server_id = "zltp-server") ?(hash_key = default_hash_key) ~blob_size backend =
+let create ?(server_id = "zltp-server") ?(hash_key = default_hash_key) ?(scan_domains = 1)
+    ~blob_size backend =
   if blob_size < 1 then invalid_arg "Zltp_server.create: blob_size must be positive";
-  { backend; blob_size; hash_key; server_id; queries = 0 }
+  if scan_domains < 1 then invalid_arg "Zltp_server.create: scan_domains must be >= 1";
+  { backend; blob_size; hash_key; server_id; scan_domains; queries = 0 }
+
+(* The single/batch scan entry points, through the parallel kernel when
+   the knob asks for it (the kernel's own work-size cutoff keeps small
+   databases serial either way). *)
+let scan_one t s k =
+  if t.scan_domains > 1 then Lw_pir.Server.answer_domains ~domains:t.scan_domains s k
+  else Lw_pir.Server.answer s k
+
+let scan_many t s keys =
+  if t.scan_domains > 1 then Lw_pir.Server.answer_batch_domains ~domains:t.scan_domains s keys
+  else Lw_pir.Server.answer_batch s keys
 
 let backend t = t.backend
 let blob_size t = t.blob_size
@@ -102,8 +119,8 @@ let answer_pir t ~epoch dpf_key =
       | Pir_flat s -> (
           match check_epoch_exact ~have:0 ~queried:epoch with
           | Error _ as e -> e
-          | Ok () -> Ok (Lw_pir.Server.answer s k))
-      | Pir_versioned st -> with_pinned st ~epoch (fun s -> Lw_pir.Server.answer s k)
+          | Ok () -> Ok (scan_one t s k))
+      | Pir_versioned st -> with_pinned st ~epoch (fun s -> scan_one t s k)
       | Pir_sharded fe -> (
           match Zltp_frontend.epoch_agreed fe with
           | None -> Error (Zltp_wire.err_degraded, "epoch mismatch across shards")
@@ -136,9 +153,8 @@ let answer_pir_batch t ~epoch dpf_keys =
       | Pir_flat s -> (
           match check_epoch_exact ~have:0 ~queried:epoch with
           | Error _ as e -> e
-          | Ok () -> Ok (Array.to_list (Lw_pir.Server.answer_batch s keys)))
-      | Pir_versioned st ->
-          with_pinned st ~epoch (fun s -> Array.to_list (Lw_pir.Server.answer_batch s keys))
+          | Ok () -> Ok (Array.to_list (scan_many t s keys)))
+      | Pir_versioned st -> with_pinned st ~epoch (fun s -> Array.to_list (scan_many t s keys))
       | Pir_sharded fe -> (
           match Zltp_frontend.epoch_agreed fe with
           | None -> Error (Zltp_wire.err_degraded, "epoch mismatch across shards")

@@ -17,9 +17,16 @@ type backend =
 type t
 
 val create :
-  ?server_id:string -> ?hash_key:string -> blob_size:int -> backend -> t
+  ?server_id:string -> ?hash_key:string -> ?scan_domains:int -> blob_size:int -> backend -> t
 (** [hash_key] is the public keyword-hash key announced in [Welcome]; it
-    must match the store the backend was populated from. *)
+    must match the store the backend was populated from.
+
+    [scan_domains] (default 1) lets a flat or versioned backend answer
+    through the domain-partitioned scan kernel
+    ({!Lw_pir.Server.answer_domains}); the kernel's work-size cutoff
+    keeps small databases on the serial path regardless. A sharded
+    backend carries its own knob on the front-end
+    ({!Zltp_frontend.set_scan_domains}). *)
 
 val backend : t -> backend
 val blob_size : t -> int

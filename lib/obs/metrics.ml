@@ -80,6 +80,35 @@ let hist_count h = Atomic.get h.hcount
 let hist_sum h = Atomic.get h.hsum
 let hist_max h = if Atomic.get h.hcount = 0 then 0. else Atomic.get h.hmax
 
+let fresh_histogram () =
+  {
+    buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+    hcount = Atomic.make 0;
+    hsum = Atomic.make 0.;
+    hmax = Atomic.make 0.;
+  }
+
+let scratch_histogram = fresh_histogram
+
+(* Histogram merge: bucketing is deterministic, so adding [src]'s bucket
+   counts into [into] yields exactly the histogram that would have
+   resulted from observing both sample streams into one histogram — no
+   bucket counts are lost or re-binned. Aggregation is not gated on
+   [is_enabled]: merging reads recorded state, it doesn't record. *)
+let merge_into ~into src =
+  if into == src then invalid_arg "Lw_obs.Metrics.merge_into: cannot merge a histogram into itself";
+  Array.iteri
+    (fun i b ->
+      let c = Atomic.get b in
+      if c > 0 then ignore (Atomic.fetch_and_add into.buckets.(i) c))
+    src.buckets;
+  let c = Atomic.get src.hcount in
+  if c > 0 then begin
+    ignore (Atomic.fetch_and_add into.hcount c);
+    atomic_add_float into.hsum (Atomic.get src.hsum);
+    atomic_max_float into.hmax (Atomic.get src.hmax)
+  end
+
 (* Nearest-rank quantile from the buckets. The estimate is the geometric
    midpoint of the bucket the rank falls in, clamped to the observed max
    (which necessarily lies in the last non-empty bucket). *)
@@ -145,14 +174,7 @@ let histogram name =
           invalid_arg
             ("Lw_obs.Metrics: " ^ name ^ " already registered with a different kind (wanted histogram)")
       | None ->
-          let h =
-            {
-              buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
-              hcount = Atomic.make 0;
-              hsum = Atomic.make 0.;
-              hmax = Atomic.make 0.;
-            }
-          in
+          let h = fresh_histogram () in
           Hashtbl.add registry name (H h);
           h)
 

@@ -64,6 +64,21 @@ val quantile : histogram -> float -> float
     quantile by at most one bucket (a factor of [sqrt 2]). [0.] when
     empty. *)
 
+val scratch_histogram : unit -> histogram
+(** A fresh histogram {e outside} the registry — an aggregation target
+    for {!merge_into} (e.g. folding per-shard histograms into one fleet
+    view) that never shows up in {!snapshot} and needs no name. *)
+
+val merge_into : into:histogram -> histogram -> unit
+(** [merge_into ~into src] adds [src]'s bucket counts, count, sum and max
+    into [into], leaving [src] untouched. Bucketing is deterministic, so
+    the result is exactly the histogram that would have come from
+    observing both sample streams into one histogram — no counts are
+    lost or re-binned (the QCheck property in [test_obs] holds this
+    exactly, not approximately). Safe under concurrent [observe]s on
+    either side; not gated on {!is_enabled}. Raises [Invalid_argument]
+    when [into == src]. *)
+
 (** {2 Bucket geometry} (exposed for the exporters and property tests) *)
 
 val n_buckets : int
@@ -92,6 +107,9 @@ type hist_snapshot = {
   nonzero_buckets : (float * int) list;
       (** (inclusive upper edge, count), ascending; empty buckets elided *)
 }
+
+val snapshot_hist : histogram -> hist_snapshot
+(** Point-in-time view of one histogram (registered or scratch). *)
 
 type snapshot_item =
   | Counter of string * int

@@ -168,6 +168,195 @@ let answer_batch t keys =
     Array.map Bytes.unsafe_to_string accs
   end
 
+(* ------------------------------------------------------------------ *)
+(* Domain-partitioned parallel scan                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The bucket domain splits into 2^levels aligned sub-ranges; each worker
+   rebases the client key at its sub-range's internal tree node
+   ([Dpf.make_subkey] via [Distributed.split]) and runs the *same* fused
+   kernel over the remaining bits, so no worker pays the full-domain DPF
+   evaluation and the per-partition memory trace is the partition's full
+   contiguous walk — the leakage profile of the serial scan, cut into
+   aligned pieces (see SECURITY.md). *)
+
+(* Below this a parallel answer is all spawn/join overhead: the fused
+   serial kernel finishes a 1 MiB scan in well under a millisecond. *)
+let parallel_cutoff_bytes = 1 lsl 20
+
+let m_parallel = Lw_obs.Metrics.counter "pir.server.parallel_answers"
+
+(* Smallest power-of-two partition count >= [requested], clamped so the
+   split stays a strict prefix of the key's tree ([levels < domain_bits]). *)
+let partition_levels t requested =
+  let d = domain_bits t in
+  let rec up l = if 1 lsl l >= requested then l else up (l + 1) in
+  min (d - 1) (max 1 (up 0))
+
+(* XOR partition [prefix]'s contribution into [acc]. [sub] is the key
+   rebased at the partition's root; its domain is the bottom [rem] bits. *)
+let scan_partition t ~sub ~prefix ~rem ~acc =
+  let base = prefix lsl rem in
+  Lw_dpf.Dpf.eval_bits_blocked sub
+    ~block_bits:(min rem (block_bits_for t))
+    (fun b bits count -> xor_block_into_masked t ~base:(base + b) ~count ~bits ~bits_pos:0 ~dst:acc)
+
+(* Serial schedule over the exact per-partition kernels the parallel path
+   runs: the deterministic twin [Trace_check.check_partitioned_scan]
+   drives, and the per-partition timer the bench uses to report the
+   critical path (max partition time) a multi-core machine would pay. *)
+let answer_partitioned_timed ?(partitions = 2) t k =
+  check_domain t k;
+  let levels = partition_levels t partitions in
+  let subs = Lw_dpf.Distributed.split k ~shard_bits:levels in
+  let rem = domain_bits t - levels in
+  let acc = Bytes.make (bucket_size t) '\x00' in
+  let clock = Lw_obs.Span.clock () in
+  let times =
+    Array.mapi
+      (fun prefix sub ->
+        let t0 = Lw_obs.Clock.now clock in
+        scan_partition t ~sub ~prefix ~rem ~acc;
+        Lw_obs.Clock.now clock -. t0)
+      subs
+  in
+  Lw_obs.Metrics.incr m_answers;
+  Lw_obs.Metrics.add m_scan_bytes (total_bytes t);
+  (Bytes.unsafe_to_string acc, times)
+
+let answer_partitioned ?partitions t k = fst (answer_partitioned_timed ?partitions t k)
+
+let join_all_reraise doms =
+  (* Join every domain before acting on any failure, so a raising worker
+     can neither leak the other domains nor let a partially-reduced
+     accumulator escape. *)
+  let first_failure =
+    List.fold_left
+      (fun acc d ->
+        match Domain.join d with
+        | () -> acc
+        | exception e -> ( match acc with None -> Some e | Some _ -> acc))
+      None doms
+  in
+  match first_failure with Some e -> raise e | None -> ()
+
+let worker_count domains =
+  match domains with Some n -> max 1 n | None -> Domain.recommended_domain_count ()
+
+let answer_domains ?(cutoff_bytes = parallel_cutoff_bytes) ?domains t k =
+  check_domain t k;
+  let workers = worker_count domains in
+  if workers <= 1 || domain_bits t < 2 || total_bytes t < cutoff_bytes then answer t k
+  else begin
+    let levels = partition_levels t workers in
+    let subs = Lw_dpf.Distributed.split k ~shard_bits:levels in
+    let parts = Array.length subs in
+    let rem = domain_bits t - levels in
+    let nw = min workers parts in
+    let accs = Array.init nw (fun _ -> Bytes.make (bucket_size t) '\x00') in
+    let next = Atomic.make 0 in
+    (* Workers claim partitions through [Atomic.fetch_and_add] and worker
+       [w] only ever writes its own [accs.(w)]; the joins below give this
+       domain the happens-before edge back before the XOR reduce. *)
+    (* lw-lint: allow race lines=11 *)
+    let worker w () =
+      let acc = accs.(w) in
+      let rec go () =
+        let prefix = Atomic.fetch_and_add next 1 in
+        if prefix < parts then begin
+          scan_partition t ~sub:subs.(prefix) ~prefix ~rem ~acc;
+          go ()
+        end
+      in
+      go ()
+    in
+    join_all_reraise (List.init nw (fun w -> Domain.spawn (worker w)));
+    let out = accs.(0) in
+    for w = 1 to nw - 1 do
+      Lw_util.Xorbuf.xor_into ~src:accs.(w) ~src_pos:0 ~dst:out ~dst_pos:0 ~len:(bucket_size t)
+    done;
+    Lw_obs.Metrics.incr m_answers;
+    Lw_obs.Metrics.incr m_parallel;
+    Lw_obs.Metrics.add m_scan_bytes (total_bytes t);
+    Bytes.unsafe_to_string out
+  end
+
+(* One partition of the bit-packed batch kernel: [subs] are the batch's
+   keys rebased at this partition, [lane_accs] groups the caller's
+   accumulators into packs of <= 8, [bits] is a reusable partition-sized
+   scratch of packed selection bytes. *)
+let scan_partition_packed t ~subs ~lane_accs ~prefix ~rem ~bits =
+  let part = 1 lsl rem in
+  let base = prefix lsl rem in
+  let n = Array.length subs in
+  let n_packs = (n + 7) / 8 in
+  for p = 0 to n_packs - 1 do
+    Bytes.fill bits 0 part '\x00';
+    let lane_lo = 8 * p in
+    let lanes = min 8 (n - lane_lo) in
+    for q = 0 to lanes - 1 do
+      Lw_dpf.Dpf.eval_all_bits subs.(lane_lo + q) (fun j b ->
+          let cur = Char.code (Bytes.unsafe_get bits j) in
+          Bytes.unsafe_set bits j (Char.unsafe_chr (cur lor ((b land 1) lsl q))))
+    done;
+    let dsts = lane_accs.(p) in
+    for j = 0 to part - 1 do
+      xor_bucket_into_packed t (base + j) ~pack:(Char.code (Bytes.unsafe_get bits j)) ~dsts
+    done
+  done
+
+let answer_batch_domains ?(cutoff_bytes = parallel_cutoff_bytes) ?domains t keys =
+  Array.iter (check_domain t) keys;
+  let n = Array.length keys in
+  let workers = worker_count domains in
+  if n = 0 then [||]
+  else if workers <= 1 || domain_bits t < 2 || total_bytes t < cutoff_bytes then
+    answer_batch t keys
+  else if n = 1 then [| answer_domains ~cutoff_bytes ?domains t keys.(0) |]
+  else begin
+    let levels = partition_levels t workers in
+    let rem = domain_bits t - levels in
+    let parts = 1 lsl levels in
+    let subs = Array.map (fun k -> Lw_dpf.Distributed.split k ~shard_bits:levels) keys in
+    let by_part = Array.init parts (fun p -> Array.map (fun s -> s.(p)) subs) in
+    let nw = min workers parts in
+    let bucket = bucket_size t in
+    let n_packs = (n + 7) / 8 in
+    let accs = Array.init nw (fun _ -> Array.init n (fun _ -> Bytes.make bucket '\x00')) in
+    let lane_groups =
+      Array.init nw (fun w ->
+          Array.init n_packs (fun p -> Array.sub accs.(w) (8 * p) (min 8 (n - (8 * p)))))
+    in
+    let next = Atomic.make 0 in
+    (* Same discipline as [answer_domains]: claimed partitions, per-worker
+       accumulators, join-then-reduce. *)
+    (* lw-lint: allow race lines=12 *)
+    let worker w () =
+      let bits = Bytes.create (1 lsl rem) in
+      let lane_accs = lane_groups.(w) in
+      let rec go () =
+        let prefix = Atomic.fetch_and_add next 1 in
+        if prefix < parts then begin
+          scan_partition_packed t ~subs:by_part.(prefix) ~lane_accs ~prefix ~rem ~bits;
+          go ()
+        end
+      in
+      go ()
+    in
+    join_all_reraise (List.init nw (fun w -> Domain.spawn (worker w)));
+    let out = accs.(0) in
+    for w = 1 to nw - 1 do
+      for q = 0 to n - 1 do
+        Lw_util.Xorbuf.xor_into ~src:accs.(w).(q) ~src_pos:0 ~dst:out.(q) ~dst_pos:0 ~len:bucket
+      done
+    done;
+    Lw_obs.Metrics.incr m_batches;
+    Lw_obs.Metrics.incr m_parallel;
+    Lw_obs.Metrics.add m_answers n;
+    Lw_obs.Metrics.add m_scan_bytes (n_packs * total_bytes t);
+    Array.map Bytes.unsafe_to_string out
+  end
+
 let answer_serialized t key_bytes =
   match Lw_dpf.Dpf.deserialize key_bytes with
   | Error e -> Error (Printf.sprintf "bad DPF key: %s" e)

@@ -53,6 +53,48 @@ val answer_batch : t -> Lw_dpf.Dpf.key array -> string array
     bit-packed 8 queries to the byte; a partial final pack (batch size
     not a multiple of 8) runs the same kernel on fewer lanes. *)
 
+(** {2 Domain-partitioned parallel scan}
+
+    The bucket domain splits into [2^levels] aligned sub-ranges; each
+    worker rebases the client key at its sub-range's internal tree node
+    ({!Lw_dpf.Dpf.make_subkey}) and runs the same fused kernel over the
+    remaining bits, so no worker pays a full-domain DPF evaluation. The
+    partial accumulators XOR-reduce to exactly the serial answer. Every
+    partition is still walked in full with mask-selected XORs, so the
+    union of the per-worker memory traces is the serial scan's trace —
+    parallelism changes who touches a bucket, never whether. *)
+
+val parallel_cutoff_bytes : int
+(** Default work-size cutoff (1 MiB): below this the [_domains] entry
+    points fall back to the serial fused kernel, since a parallel answer
+    would be all spawn/join overhead. *)
+
+val answer_domains : ?cutoff_bytes:int -> ?domains:int -> t -> Lw_dpf.Dpf.key -> string
+(** {!answer} computed by [domains] workers (default
+    [Domain.recommended_domain_count ()]) on OCaml domains, each scanning
+    claimed partitions into its own accumulator; byte-identical to
+    {!answer}. Falls back to the serial kernel when [domains <= 1] or the
+    database is smaller than [cutoff_bytes] (tests pass [~cutoff_bytes:0]
+    to force the parallel path on small databases). All domains are
+    joined before any worker failure is re-raised. *)
+
+val answer_batch_domains :
+  ?cutoff_bytes:int -> ?domains:int -> t -> Lw_dpf.Dpf.key array -> string array
+(** {!answer_batch} (bit-packed lanes) with the partition-claiming worker
+    scheme of {!answer_domains}; byte-identical to {!answer_batch}. *)
+
+val answer_partitioned : ?partitions:int -> t -> Lw_dpf.Dpf.key -> string
+(** The partitioned kernels on a serial schedule (ascending partition
+    order, no domains): the deterministic twin of {!answer_domains} that
+    the obliviousness trace checker drives. [partitions] (default 2)
+    rounds up to a power of two, clamped below the domain size. *)
+
+val answer_partitioned_timed : ?partitions:int -> t -> Lw_dpf.Dpf.key -> string * float array
+(** {!answer_partitioned} plus per-partition elapsed seconds (span
+    clock). [max times] is the critical path an idle [partitions]-core
+    machine would pay for the parallel answer — what bench E24 reports as
+    the achievable speedup independent of this machine's core count. *)
+
 val answer_serialized : t -> string -> (string, string) result
 (** Wire-level entry point: deserialises the key, validates the domain,
     answers. *)

@@ -1,31 +1,51 @@
-type t = { n : int; cdf : float array }
+(* Walker/Vose alias method: the normalized pmf is preprocessed once into
+   [prob]/[alias] tables, after which every sample costs one table row —
+   one uniform index draw plus one biased coin — instead of the O(log n)
+   CDF binary search of the previous implementation. The fleet simulation
+   draws millions of ranks, so sampling must not scale with the catalog. *)
+
+type t = { n : int; pmf : float array; prob : float array; alias : int array }
 
 let create ?(exponent = 1.0) ~n () =
   if n < 1 then invalid_arg "Zipf.create: n must be positive";
   let weights = Array.init n (fun k -> 1. /. Float.pow (float_of_int (k + 1)) exponent) in
   let total = Array.fold_left ( +. ) 0. weights in
-  let cdf = Array.make n 0. in
-  let acc = ref 0. in
-  Array.iteri
-    (fun i w ->
-      acc := !acc +. (w /. total);
-      cdf.(i) <- !acc)
-    weights;
-  cdf.(n - 1) <- 1.;
-  { n; cdf }
+  let pmf = Array.map (fun w -> w /. total) weights in
+  (* Vose preprocessing: split ranks into under- and over-full relative to
+     the uniform 1/n, then pair each under-full rank with an over-full
+     donor. Every rank ends with prob in [0,1] and a donor alias. *)
+  let nf = float_of_int n in
+  let scaled = Array.map (fun p -> p *. nf) pmf in
+  let prob = Array.make n 1. in
+  let alias = Array.init n Fun.id in
+  let small = ref [] and large = ref [] in
+  Array.iteri (fun i s -> if s < 1. then small := i :: !small else large := i :: !large) scaled;
+  let rec pair () =
+    match (!small, !large) with
+    | s :: srest, l :: lrest ->
+        prob.(s) <- scaled.(s);
+        alias.(s) <- l;
+        small := srest;
+        (* donor [l] gave away [1 - scaled.(s)] of its mass *)
+        scaled.(l) <- scaled.(l) -. (1. -. scaled.(s));
+        if scaled.(l) < 1. then begin
+          large := lrest;
+          small := l :: !small
+        end;
+        pair ()
+    | rest, [] | [], rest ->
+        (* leftover ranks are exactly full up to rounding: keep prob = 1 *)
+        List.iter (fun i -> prob.(i) <- 1.) rest
+  in
+  pair ();
+  { n; pmf; prob; alias }
 
 let n t = t.n
 
 let sample t rng =
-  let u = Lw_util.Det_rng.float rng 1.0 in
-  (* first index with cdf >= u *)
-  let lo = ref 0 and hi = ref (t.n - 1) in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
-  done;
-  !lo
+  let i = Lw_util.Det_rng.int rng t.n in
+  if Lw_util.Det_rng.float rng 1.0 < t.prob.(i) then i else t.alias.(i)
 
 let probability t k =
   if k < 0 || k >= t.n then invalid_arg "Zipf.probability: rank out of range";
-  if k = 0 then t.cdf.(0) else t.cdf.(k) -. t.cdf.(k - 1)
+  t.pmf.(k)

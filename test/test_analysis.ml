@@ -406,6 +406,61 @@ let test_race_spawned_ref () =
   Alcotest.(check int) "Mutex.protect clean" 0
     (count_rule "race" (findings_for ~path clean_mutex))
 
+let test_race_partitioned_scan_fixtures () =
+  (* the two shapes the domain-parallel scan chooses between: a shared
+     Bytes accumulator XORed by every worker (a data race the lint must
+     flag), vs per-worker buffers handed back through Domain.join and
+     XOR-reduced by the spawning domain (no shared mutable capture) *)
+  let path = "lib/pir/fixture.ml" in
+  let dirty =
+    "let scan_parallel part =\n\
+    \  let acc = Bytes.create 32 in\n\
+    \  let doms =\n\
+    \    List.init 4 (fun w ->\n\
+    \        Domain.spawn (fun () ->\n\
+    \            Bytes.set acc w (part w);\n\
+    \            Bytes.blit (part_bytes w) 0 acc 0 32))\n\
+    \  in\n\
+    \  List.iter Domain.join doms;\n\
+    \  acc\n"
+  in
+  Alcotest.(check bool) "shared accumulator caught" true
+    (count_rule "race" (findings_for ~path dirty) >= 1);
+  let clean =
+    "let scan_parallel part xor_into =\n\
+    \  let doms =\n\
+    \    List.init 4 (fun w ->\n\
+    \        Domain.spawn (fun () ->\n\
+    \            let acc = Bytes.make 32 '\\000' in\n\
+    \            Bytes.set acc w (part w);\n\
+    \            acc))\n\
+    \  in\n\
+    \  let parts = List.map Domain.join doms in\n\
+    \  match parts with\n\
+    \  | first :: rest ->\n\
+    \      List.iter (fun p -> xor_into p first) rest;\n\
+    \      first\n\
+    \  | [] -> Bytes.create 32\n"
+  in
+  Alcotest.(check int) "per-worker buffers + join reduce clean" 0
+    (count_rule "race" (findings_for ~path clean));
+  (* the production pattern: per-worker accumulators are picked out of a
+     shared array by index — over-approximated as a race by design, so
+     it must carry an explicit pragma (as lib/pir/server.ml does) *)
+  let pragma =
+    "let scan_parallel () =\n\
+    \  let accs = Array.init 4 (fun _ -> Bytes.create 32) in\n\
+    \  (* lw-lint: allow race lines=3 *)\n\
+    \  let doms =\n\
+    \    List.init 4 (fun w ->\n\
+    \        Domain.spawn (fun () -> Bytes.set (Array.get accs w) 0 'x'))\n\
+    \  in\n\
+    \  List.iter Domain.join doms;\n\
+    \  accs\n"
+  in
+  Alcotest.(check int) "pragma-acknowledged worker slots clean" 0
+    (count_rule "race" (findings_for ~path pragma))
+
 let test_balance_pin_lifecycle () =
   let path = "lib/core/fixture.ml" in
   (* a call between pin and unpin can raise and leak the pin *)
@@ -632,6 +687,14 @@ let test_trace_snapshot_scan () =
     (Trace_check.check_snapshot_scan ~domain_bits:7 ~bucket_size:48
        ~alphas:[ 0; 99; 127 ] ())
 
+let test_trace_partitioned_scan () =
+  check_ok "partitioned defaults" (Trace_check.check_partitioned_scan ());
+  (* partitions that don't divide the domain evenly still walk in order
+     (partition count rounds up to a power of two internally) *)
+  check_ok "partitioned odd counts"
+    (Trace_check.check_partitioned_scan ~domain_bits:7 ~bucket_size:48
+       ~partition_counts:[ 3; 5; 16 ] ~alphas:[ 0; 64; 127 ] ())
+
 let test_trace_check_all () = check_ok "check_all" (Trace_check.check_all ())
 
 let test_trace_scan_really_answers () =
@@ -687,6 +750,8 @@ let () =
           Alcotest.test_case "taint across loop iterations" `Quick
             test_taint_loop_carried_ref;
           Alcotest.test_case "race on spawned ref" `Quick test_race_spawned_ref;
+          Alcotest.test_case "race: partitioned-scan fixtures" `Quick
+            test_race_partitioned_scan_fixtures;
           Alcotest.test_case "pin/unpin balance" `Quick test_balance_pin_lifecycle;
           Alcotest.test_case "allow lines=N pragma" `Quick test_pragma_lines_span;
           QCheck_alcotest.to_alcotest prop_taint_monotone;
@@ -707,6 +772,8 @@ let () =
           Alcotest.test_case "bucket scan traces" `Quick test_trace_bucket_scan;
           Alcotest.test_case "batch scan traces" `Quick test_trace_batch_scan;
           Alcotest.test_case "CoW snapshot scan traces" `Quick test_trace_snapshot_scan;
+          Alcotest.test_case "partitioned scan traces" `Quick
+            test_trace_partitioned_scan;
           Alcotest.test_case "retry wire shape" `Quick test_trace_retry;
           Alcotest.test_case "check_all" `Quick test_trace_check_all;
           Alcotest.test_case "masked scan answers" `Quick test_trace_scan_really_answers;

@@ -428,6 +428,84 @@ let test_frontend_timings () =
         (t.Zltp_frontend.eval_s >= 0. && t.Zltp_frontend.scan_s >= 0.))
     timings
 
+let test_frontend_tree_shape () =
+  let fe = Zltp_frontend.create ~domain_bits:8 ~shard_bits:6 ~bucket_size:32 in
+  Alcotest.(check (option int)) "no tree by default" None (Zltp_frontend.tree_fanout fe);
+  Zltp_frontend.set_tree_fanout fe (Some 2);
+  Alcotest.(check (option int)) "fanout set" (Some 2) (Zltp_frontend.tree_fanout fe);
+  (* 6 shard levels at 2 bits/node: depth 3, 1 + 4 + 16 + 64 nodes *)
+  Alcotest.(check int) "depth" 3 (Zltp_frontend.tree_depth fe);
+  Alcotest.(check int) "nodes" 85 (Zltp_frontend.tree_nodes fe);
+  Zltp_frontend.set_tree_fanout fe None;
+  Alcotest.(check (option int)) "tree dropped" None (Zltp_frontend.tree_fanout fe);
+  Alcotest.check_raises "fanout must be >= 1"
+    (Invalid_argument "Zltp_frontend.set_tree_fanout: fanout_bits must be >= 1")
+    (fun () -> Zltp_frontend.set_tree_fanout fe (Some 0));
+  Alcotest.check_raises "scan domains must be >= 1"
+    (Invalid_argument "Zltp_frontend.set_scan_domains: need at least one domain")
+    (fun () -> Zltp_frontend.set_scan_domains fe 0)
+
+let test_frontend_tree_refusal () =
+  (* degraded-shard refusal must survive the tree: the down-shard check
+     runs before any tree walk, so a tree-routed [answer_result] refuses
+     exactly like the flat path *)
+  let db = Lw_pir.Bucket_db.create ~domain_bits:8 ~bucket_size:64 in
+  Lw_pir.Bucket_db.fill_random db (Lw_util.Det_rng.of_string_seed "tree-refusal");
+  let fe = Zltp_frontend.of_db db ~shard_bits:4 in
+  Zltp_frontend.set_tree_fanout fe (Some 2);
+  let k0, _ = Lw_dpf.Dpf.gen ~domain_bits:8 ~alpha:200 (rng ()) in
+  (match Zltp_frontend.answer_result fe k0 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("healthy tree refused: " ^ e));
+  Zltp_frontend.set_shard_down fe 5 true;
+  (match Zltp_frontend.answer_result fe k0 with
+  | Ok _ -> Alcotest.fail "tree answered with a shard down (partial XOR!)"
+  | Error _ -> ());
+  Zltp_frontend.set_shard_down fe 5 false;
+  match Zltp_frontend.answer_result fe k0 with
+  | Ok share ->
+      Alcotest.(check string) "recovers" (Zltp_frontend.answer fe k0) share
+  | Error e -> Alcotest.fail ("recovered tree refused: " ^ e)
+
+(* Tree-routed, domain-parallel answers vs the serial single-frontend
+   path: same database, same keys => bit-identical shares, across shard
+   counts 4/16/64 (the 1-shard case is the flat [Lw_pir.Server] reference
+   itself), fan-out widths 1/2/3 bits and scan-domain counts 1/2/4/8. *)
+let tree_geometry =
+  QCheck.make
+    ~print:(fun (sb, fb, nd, alphas) ->
+      Printf.sprintf "shard_bits=%d fanout_bits=%d domains=%d alphas=[%s]" sb fb nd
+        (String.concat ";" (List.map string_of_int alphas)))
+    QCheck.Gen.(
+      oneofl [ 2; 4; 6 ] >>= fun shard_bits ->
+      oneofl [ 1; 2; 3 ] >>= fun fanout_bits ->
+      oneofl [ 1; 2; 4; 8 ] >>= fun domains ->
+      list_size (int_range 1 9) (int_range 0 255) >>= fun alphas ->
+      return (shard_bits, fanout_bits, domains, alphas))
+
+let prop_tree_matches_serial =
+  QCheck.Test.make ~name:"tree fan-out + scan domains = serial answer" ~count:30
+    tree_geometry
+    (fun (shard_bits, fanout_bits, domains, alphas) ->
+      let domain_bits = 8 in
+      let db = Lw_pir.Bucket_db.create ~domain_bits ~bucket_size:48 in
+      Lw_pir.Bucket_db.fill_random db (Lw_util.Det_rng.of_string_seed "tree-prop");
+      let flat = Lw_pir.Server.create db in
+      let plain_fe = Zltp_frontend.of_db db ~shard_bits in
+      let tree_fe = Zltp_frontend.of_db db ~shard_bits in
+      Zltp_frontend.set_scan_domains tree_fe domains;
+      Zltp_frontend.set_tree_fanout tree_fe (Some fanout_bits);
+      List.for_all
+        (fun alpha ->
+          let k0, k1 = Lw_dpf.Dpf.gen ~domain_bits ~alpha (rng ()) in
+          List.for_all
+            (fun k ->
+              let serial = Lw_pir.Server.answer flat k in
+              String.equal serial (Zltp_frontend.answer plain_fe k)
+              && String.equal serial (Zltp_frontend.answer tree_fe k))
+            [ k0; k1 ])
+        alphas)
+
 (* ---------------- Zltp_batch ---------------- *)
 
 let test_batch_scheduler () =
@@ -1025,6 +1103,9 @@ let () =
           Alcotest.test_case "bucket routing" `Quick test_frontend_bucket_routing;
           Alcotest.test_case "parallel = sequential" `Quick test_frontend_parallel_matches;
           Alcotest.test_case "timings" `Quick test_frontend_timings;
+          Alcotest.test_case "tree shape" `Quick test_frontend_tree_shape;
+          Alcotest.test_case "tree refusal" `Quick test_frontend_tree_refusal;
+          QCheck_alcotest.to_alcotest prop_tree_matches_serial;
           Alcotest.test_case "batch scheduler" `Quick test_batch_scheduler;
         ] );
       ( "browser",

@@ -39,6 +39,54 @@ let prop_quantile_within_one_bucket =
           abs (Lw_obs.Metrics.bucket_index est - Lw_obs.Metrics.bucket_index exact) <= 1)
         [ 0.5; 0.95; 0.99 ])
 
+(* Merge exactness: bucketing is deterministic, so merging per-shard
+   histograms must yield EXACTLY the histogram of the concatenated
+   sample stream — same bucket counts, count, sum (up to float
+   addition order) and max. This is what lets the fleet sim fold 64+
+   per-shard histograms into one view without losing a single count. *)
+let prop_merge_exact =
+  QCheck.Test.make ~name:"histogram merge = histogram of concatenated streams"
+    ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 120) (float_bound_exclusive 10.))
+        (list_of_size Gen.(0 -- 120) (float_bound_exclusive 10.)))
+    (fun (raw_a, raw_b) ->
+      let clamp x = 1e-7 +. Float.abs x in
+      let a = List.map clamp raw_a and b = List.map clamp raw_b in
+      let ha = Lw_obs.Metrics.scratch_histogram () in
+      let hb = Lw_obs.Metrics.scratch_histogram () in
+      let hc = Lw_obs.Metrics.scratch_histogram () in
+      List.iter (Lw_obs.Metrics.observe ha) a;
+      List.iter (Lw_obs.Metrics.observe hb) b;
+      List.iter (Lw_obs.Metrics.observe hc) (a @ b);
+      Lw_obs.Metrics.merge_into ~into:ha hb;
+      let sa = Lw_obs.Metrics.snapshot_hist ha in
+      let sc = Lw_obs.Metrics.snapshot_hist hc in
+      sa.Lw_obs.Metrics.count = sc.Lw_obs.Metrics.count
+      && sa.Lw_obs.Metrics.nonzero_buckets = sc.Lw_obs.Metrics.nonzero_buckets
+      && Float.equal sa.Lw_obs.Metrics.max sc.Lw_obs.Metrics.max
+      && Float.abs (sa.Lw_obs.Metrics.sum -. sc.Lw_obs.Metrics.sum) <= 1e-9
+      (* src untouched by the merge *)
+      && Lw_obs.Metrics.hist_count hb = List.length b)
+
+let test_merge_validation () =
+  let h = Lw_obs.Metrics.scratch_histogram () in
+  Lw_obs.Metrics.observe h 0.01;
+  Alcotest.check_raises "self-merge rejected"
+    (Invalid_argument "Lw_obs.Metrics.merge_into: cannot merge a histogram into itself")
+    (fun () -> Lw_obs.Metrics.merge_into ~into:h h);
+  (* merging an empty source is a no-op *)
+  let empty = Lw_obs.Metrics.scratch_histogram () in
+  Lw_obs.Metrics.merge_into ~into:h empty;
+  Alcotest.(check int) "count unchanged" 1 (Lw_obs.Metrics.hist_count h);
+  (* merge is not gated on is_enabled: it aggregates recorded state *)
+  Lw_obs.Metrics.set_enabled false;
+  let h2 = Lw_obs.Metrics.scratch_histogram () in
+  Lw_obs.Metrics.merge_into ~into:h2 h;
+  Lw_obs.Metrics.set_enabled true;
+  Alcotest.(check int) "merged while disabled" 1 (Lw_obs.Metrics.hist_count h2)
+
 let test_histogram_basics () =
   let h = Lw_obs.Metrics.histogram "test.obs.basics" in
   Lw_obs.Metrics.reset ();
@@ -290,6 +338,7 @@ let () =
       ( "metrics",
         [
           Alcotest.test_case "histogram basics" `Quick test_histogram_basics;
+          Alcotest.test_case "merge validation" `Quick test_merge_validation;
           Alcotest.test_case "kind mismatch" `Quick test_metric_kind_mismatch;
           Alcotest.test_case "disabled recording" `Quick test_disabled_recording;
           Alcotest.test_case "counters exact under domains" `Quick test_counter_exact_under_domains;
@@ -318,5 +367,6 @@ let () =
             test_pacer_stats_pairing_exact_under_backlog;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_quantile_within_one_bucket ] );
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_quantile_within_one_bucket; prop_merge_exact ] );
     ]

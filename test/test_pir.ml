@@ -441,6 +441,68 @@ let prop_batch_matches_naive =
            (fun share k -> String.equal share (reference_answer server k))
            batched keys)
 
+(* The domain-parallel paths must be bit-identical to the serial kernels
+   whatever the worker count: counts below, at and above the machine's
+   core count, worker counts exceeding the partition count, and
+   geometries the cutoff would normally veto ([~cutoff_bytes:0] forces
+   the parallel path even on tiny databases). [answer_partitioned] is
+   the deterministic serial twin of the same partition kernels, so it
+   rides the same property. Domain >= 2 bits: below that there is
+   nothing to partition and the entry points fall back to serial. *)
+
+let parallel_geometry =
+  QCheck.make
+    ~print:(fun (d, b, nd, alphas) ->
+      Printf.sprintf "domain_bits=%d bucket=%d domains=%d alphas=[%s]" d b nd
+        (String.concat ";" (List.map string_of_int alphas)))
+    QCheck.Gen.(
+      int_range 2 9 >>= fun d ->
+      int_range 1 80 >>= fun b ->
+      oneofl [ 1; 2; 4; 8 ] >>= fun nd ->
+      list_size (int_range 1 17) (int_range 0 ((1 lsl d) - 1)) >>= fun alphas ->
+      return (d, b, nd, alphas))
+
+let prop_domains_matches_serial =
+  QCheck.Test.make ~name:"answer_domains/partitioned = serial answer" ~count:40
+    parallel_geometry
+    (fun (domain_bits, bucket_size, nd, alphas) ->
+      let db = Bucket_db.create ~domain_bits ~bucket_size in
+      Bucket_db.fill_random db (det "domains-prop");
+      let server = Server.create db in
+      let drbg = rng () in
+      List.for_all
+        (fun alpha ->
+          let k0, k1 = Lw_dpf.Dpf.gen ~domain_bits ~alpha drbg in
+          List.for_all
+            (fun k ->
+              let serial = Server.answer server k in
+              String.equal serial
+                (Server.answer_domains ~cutoff_bytes:0 ~domains:nd server k)
+              && String.equal serial (Server.answer_partitioned ~partitions:nd server k))
+            [ k0; k1 ])
+        alphas)
+
+let prop_batch_domains_matches_batch =
+  QCheck.Test.make ~name:"answer_batch_domains = answer_batch" ~count:30
+    parallel_geometry
+    (fun (domain_bits, bucket_size, nd, alphas) ->
+      let db = Bucket_db.create ~domain_bits ~bucket_size in
+      Bucket_db.fill_random db (det "batch-domains-prop");
+      let server = Server.create db in
+      let drbg = rng () in
+      let keys =
+        Array.of_list
+          (List.mapi
+             (fun i alpha ->
+               let k0, k1 = Lw_dpf.Dpf.gen ~domain_bits ~alpha drbg in
+               if i land 1 = 0 then k0 else k1)
+             alphas)
+      in
+      let serial = Server.answer_batch server keys in
+      let parallel = Server.answer_batch_domains ~cutoff_bytes:0 ~domains:nd server keys in
+      Array.length parallel = Array.length serial
+      && Array.for_all2 String.equal parallel serial)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -449,6 +511,8 @@ let props =
       prop_cuckoo_find_after_inserts;
       prop_fused_matches_reference;
       prop_batch_matches_naive;
+      prop_domains_matches_serial;
+      prop_batch_domains_matches_batch;
     ]
 
 let () =
