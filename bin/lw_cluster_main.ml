@@ -1,0 +1,131 @@
+(* lw_cluster — run a supervised multi-process ZLTP fleet on loopback.
+
+     lw_cluster run [--shards N] [--domain-bits B] [--bucket-size S]
+                    [--rollouts K] [--churn N] [--chaos] [--state-dir DIR]
+
+   Spawns the fleet (this same executable re-execed per shard), seeds a
+   deterministic corpus, drives K live epoch rollouts while a PIR client
+   keeps reading, optionally SIGKILLs a shard mid-run to show recovery,
+   and prints the merged fleet metrics before shutting down. *)
+
+let () = Lw_cluster.Worker.run_if_worker ()
+
+module Sup = Lw_cluster.Supervisor
+
+let usage () =
+  prerr_endline
+    "usage: lw_cluster run [--shards N] [--domain-bits B] [--bucket-size S]\n\
+    \                      [--rollouts K] [--churn N] [--chaos] [--state-dir DIR]";
+  exit 64
+
+let int_flag argv name default =
+  let v = ref default in
+  Array.iteri
+    (fun i a -> if a = name && i + 1 < Array.length argv then v := int_of_string argv.(i + 1))
+    argv;
+  !v
+
+let str_flag argv name default =
+  let v = ref default in
+  Array.iteri
+    (fun i a -> if a = name && i + 1 < Array.length argv then v := argv.(i + 1))
+    argv;
+  !v
+
+let has_flag argv name = Array.exists (( = ) name) argv
+
+let bucket_value rng size =
+  (* printable deterministic payloads so wire captures stay readable *)
+  String.init size (fun _ -> Char.chr (97 + Lw_util.Det_rng.int rng 26))
+
+let print_fleet sup =
+  List.iter
+    (fun (i : Sup.shard_info) ->
+      Printf.printf "  shard %d: %-8s pid=%-6s port=%-5s epoch=%d advertised=%d restarts=%d\n"
+        i.id (Sup.state_name i.state)
+        (match i.pid with Some p -> string_of_int p | None -> "-")
+        (match i.zltp_port with Some p -> string_of_int p | None -> "-")
+        i.epoch i.advertised i.restarts)
+    (Sup.info sup)
+
+let run argv =
+  let shards = int_flag argv "--shards" 4 in
+  let domain_bits = int_flag argv "--domain-bits" 8 in
+  let bucket_size = int_flag argv "--bucket-size" 512 in
+  let rollouts = int_flag argv "--rollouts" 3 in
+  let churn = int_flag argv "--churn" 16 in
+  let chaos = has_flag argv "--chaos" in
+  let state_dir =
+    str_flag argv "--state-dir"
+      (Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "lw_cluster-%d" (Unix.getpid ())))
+  in
+  let cfg =
+    { (Sup.default_config ~state_dir ()) with shards; domain_bits; bucket_size }
+  in
+  Printf.printf "lw_cluster: %d shards, 2^%d buckets x %dB, state in %s\n%!" shards
+    domain_bits bucket_size state_dir;
+  let sup = Sup.start cfg in
+  print_fleet sup;
+  let rng = Lw_util.Det_rng.of_string_seed "lw_cluster/cli" in
+  let n = 1 lsl domain_bits in
+  (* seed: fill a third of the domain *)
+  let seed = List.init (n / 3) (fun k -> (3 * k, bucket_value rng bucket_size)) in
+  (match Sup.publish sup seed with
+  | Sup.Rolled_out { epoch; refreshed } ->
+      Printf.printf "seeded epoch %d across %d shards\n%!" epoch refreshed
+  | Sup.Rolled_back { reason; _ } -> Printf.printf "seed rolled back: %s\n%!" reason);
+  let client =
+    if shards >= 2 then
+      match Lightweb.Zltp_client.connect_replicated (Sup.replicas sup) with
+      | Ok c -> Some c
+      | Error e ->
+          Printf.printf "client connect failed: %s\n%!" e;
+          None
+    else None
+  in
+  for k = 1 to rollouts do
+    if chaos && k = (rollouts / 2) + 1 then begin
+      Printf.printf "chaos: SIGKILL shard 0\n%!";
+      Sup.kill sup 0
+    end;
+    let muts =
+      List.init (max 1 (n * churn / 100)) (fun _ ->
+          (Lw_util.Det_rng.int rng n, bucket_value rng bucket_size))
+    in
+    (match Sup.publish sup muts with
+    | Sup.Rolled_out { epoch; refreshed } ->
+        Printf.printf "rollout %d -> epoch %d (%d shards)\n%!" k epoch refreshed
+    | Sup.Rolled_back { epoch; reason } ->
+        Printf.printf "rollout %d rolled back (still at %d): %s\n%!" k epoch reason);
+    match client with
+    | None -> ()
+    | Some c -> (
+        match Lightweb.Zltp_client.get_raw_index c (Lw_util.Det_rng.int rng n) with
+        | Ok _ -> ()
+        | Error e -> Printf.printf "client read failed: %s\n%!" e)
+  done;
+  ignore (Sup.await_fleet ~deadline_s:10. sup ~epoch:(Sup.activated_epoch sup));
+  print_fleet sup;
+  let view = Sup.scrape sup in
+  Printf.printf "fleet metrics (%d sources):\n" (Lw_cluster.Fleet_view.sources view);
+  List.iter
+    (fun name ->
+      Printf.printf "  %-32s %d\n" name (Lw_cluster.Fleet_view.counter view name))
+    [
+      "lw_cluster.restarts_total"; "lw_cluster.rollouts_total";
+      "lw_cluster.rollbacks_total"; "lw_cluster.deaths_total";
+      "lw_cluster.shard.refreshes_total"; "lw_cluster.shard.warm_restarts_total";
+    ];
+  (match Lw_cluster.Fleet_view.histogram view "lw_cluster.mttr_seconds" with
+  | Some h when h.Lw_obs.Metrics.count > 0 ->
+      Printf.printf "  mttr: count=%d p50=%.3fs max=%.3fs\n" h.count h.p50 h.max
+  | _ -> ());
+  (match client with Some c -> Lightweb.Zltp_client.close c | None -> ());
+  Sup.shutdown sup;
+  Printf.printf "done.\n%!"
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "run" :: _ -> run Sys.argv
+  | _ -> usage ()

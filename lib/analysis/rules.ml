@@ -391,10 +391,45 @@ let unbounded_wait =
                | _ -> None));
   }
 
+(* ------------------------------------------------------------------ *)
+(* Rule 7: process management is the cluster supervisor's monopoly.    *)
+(* ------------------------------------------------------------------ *)
+
+(* Spawning, reaping and signalling OS processes carries the same
+   footgun profile as raw timestamps: done ad hoc it forks zombies,
+   races waitpid against other reapers, and bypasses the restart /
+   circuit-breaker bookkeeping the supervisor maintains. So, mirroring
+   [raw-timestamp]'s "only lib/obs reads the wall clock", only
+   lib/cluster may touch the process API — everything else asks the
+   supervisor. *)
+let process_hygiene =
+  {
+    name = "process-hygiene";
+    doc =
+      "process lifecycle calls (create_process/fork/waitpid/kill/...) are \
+       reserved to lib/cluster: the supervisor owns spawning, reaping and \
+       signalling so restarts and crash-loop accounting stay coherent";
+    applies = (fun ctx -> not (has_segment ctx "cluster"));
+    check =
+      banned_ident_check
+        ~exact:
+          [
+            "Unix.fork"; "Unix.wait"; "Unix.waitpid"; "Unix.kill"; "Unix.system";
+            "Sys.command";
+          ]
+        ~prefixes:[ "Unix.create_process"; "Unix.execv"; "Unix.open_process" ]
+        ~msg:(fun name ->
+          Printf.sprintf
+            "process management call %s outside lib/cluster; route process \
+             lifecycle through the cluster supervisor"
+            name)
+        "process-hygiene";
+  }
+
 let all =
   [
     ct_equality; poly_compare; secret_branch; nondeterminism; raw_timestamp; key_print;
-    server_abort; unbounded_wait;
+    server_abort; unbounded_wait; process_hygiene;
   ]
 
 let by_name name = List.find_opt (fun r -> r.name = name) all

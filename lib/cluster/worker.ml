@@ -1,0 +1,11 @@
+let marker = "__lw_cluster_worker__"
+
+let argv_for ~self spec = [| self; marker; Spec.encode spec |]
+
+let run_if_worker () =
+  if Array.length Sys.argv >= 3 && Sys.argv.(1) = marker then
+    match Spec.decode Sys.argv.(2) with
+    | Error e ->
+        prerr_endline ("lw_cluster worker: " ^ e);
+        exit 64
+    | Ok spec -> Shard_proc.main spec

@@ -18,6 +18,10 @@ type t = {
          (Server.answer_domains); a sharded backend carries its own knob
          on the front-end *)
   mutable queries : int;
+  mutable advertised_epoch : int option;
+      (* control-plane override of the epoch announced in
+         Welcome/Health_reply/Sync_reply; answers still serve whatever
+         live epoch a query names *)
 }
 
 let default_hash_key = String.sub (Lw_crypto.Sha256.digest "lw-pir-store-default") 0 16
@@ -26,7 +30,7 @@ let create ?(server_id = "zltp-server") ?(hash_key = default_hash_key) ?(scan_do
     ~blob_size backend =
   if blob_size < 1 then invalid_arg "Zltp_server.create: blob_size must be positive";
   if scan_domains < 1 then invalid_arg "Zltp_server.create: scan_domains must be >= 1";
-  { backend; blob_size; hash_key; server_id; scan_domains; queries = 0 }
+  { backend; blob_size; hash_key; server_id; scan_domains; queries = 0; advertised_epoch = None }
 
 (* The single/batch scan entry points, through the parallel kernel when
    the knob asks for it (the kernel's own work-size cutoff keeps small
@@ -62,12 +66,21 @@ let health t =
 
 (* The epoch this replica announces (Welcome/Health/Sync). Unversioned
    backends are forever at epoch 0 — a degenerate engine that never
-   seals. *)
+   seals. A cluster control plane may override the announcement
+   ([set_advertised_epoch]) so a two-phase rollout can seal the next
+   epoch on every replica first and flip what clients learn second;
+   queries still serve whatever live epoch they name. *)
 let current_epoch t =
-  match t.backend with
-  | Pir_versioned st -> Lw_store.current_epoch st
-  | Pir_sharded fe -> Zltp_frontend.announced_epoch fe
-  | Pir_flat _ | Enclave_backend _ -> 0
+  match t.advertised_epoch with
+  | Some e -> e
+  | None -> (
+      match t.backend with
+      | Pir_versioned st -> Lw_store.current_epoch st
+      | Pir_sharded fe -> Zltp_frontend.announced_epoch fe
+      | Pir_flat _ | Enclave_backend _ -> 0)
+
+let set_advertised_epoch t e = t.advertised_epoch <- e
+let advertised_epoch t = t.advertised_epoch
 
 let oldest_epoch t =
   match t.backend with

@@ -45,6 +45,17 @@ val oldest_epoch : t -> int
 (** Oldest epoch still answerable here (equals {!current_epoch} for
     unversioned backends). *)
 
+val set_advertised_epoch : t -> int option -> unit
+(** Control-plane override of the {e announced} epoch. [Some e] makes
+    [Welcome]/[Health_reply]/[Sync_reply] report [e] as current —
+    queries still serve whatever live epoch they name, so a versioned
+    backend can hold the next epoch sealed but invisible until the
+    cluster rollout driver flips every replica's announcement at once
+    (rollout phase two), and can be flipped back on rollback. [None]
+    restores the backend's own epoch. *)
+
+val advertised_epoch : t -> int option
+
 (** {2 Per-connection protocol state} *)
 
 type conn

@@ -97,7 +97,44 @@ let shutdown s =
     List.iter (fun ep -> ep.Endpoint.close ()) conns
   end
 
-let connect ?recv_timeout_s ~host ~port () =
+(* Bounded dial: a non-blocking [connect] turns the kernel's SYN
+   retransmission loop (minutes against a blackholed or backlog-saturated
+   host) into an [EINPROGRESS] we can poll with a deadline. Without the
+   bound, a supervisor restart loop that dials a dead shard would hang
+   with it. *)
+let connect_bounded sock addr timeout_s =
+  Unix.set_nonblock sock;
+  (match Unix.connect sock addr with
+  | () -> ()
+  | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
+      (* a real-time deadline over a real socket: the virtual clocks the
+         raw-timestamp rule protects cannot drive kernel connect timing *)
+      let now () = Unix.gettimeofday () (* lw-lint: allow raw-timestamp nondeterminism *) in
+      let deadline = now () +. timeout_s in
+      let rec await () =
+        let remaining = deadline -. now () in
+        if remaining <= 0. then raise Endpoint.Timeout
+        else
+          match Unix.select [] [ sock ] [] remaining with
+          | _, [], _ -> raise Endpoint.Timeout
+          | _, _ :: _, _ -> (
+              (* writable: either connected or failed — SO_ERROR tells *)
+              match Unix.getsockopt_error sock with
+              | None -> ()
+              | Some err -> raise (Unix.Unix_error (err, "connect", "")))
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> await ()
+      in
+      await ());
+  Unix.clear_nonblock sock
+
+let connect ?connect_timeout_s ?recv_timeout_s ~host ~port () =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  (try
+     match connect_timeout_s with
+     | Some t when t > 0. -> connect_bounded sock addr t
+     | _ -> Unix.connect sock addr
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
   endpoint_of_fd ?recv_timeout_s sock

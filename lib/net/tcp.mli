@@ -25,8 +25,22 @@ val shutdown : server -> unit
     with [Endpoint.Closed] and terminate promptly instead of leaking. *)
 
 val connect :
-  ?recv_timeout_s:float -> host:string -> port:int -> unit -> Endpoint.t
+  ?connect_timeout_s:float ->
+  ?recv_timeout_s:float ->
+  host:string ->
+  port:int ->
+  unit ->
+  Endpoint.t
 (** Blocking client connection. With [recv_timeout_s] set, [recv] raises
     {!Endpoint.Timeout} when no complete frame arrives within the deadline
     (via [SO_RCVTIMEO]); the connection should be abandoned afterwards —
-    a frame may have been half-read. *)
+    a frame may have been half-read.
+
+    With [connect_timeout_s] set, the dial itself is bounded: the socket
+    connects non-blocking and is polled for at most that long, so a dial
+    to a dead or blackholed host (SYN never answered — e.g. a
+    [SIGSTOP]ped process behind a saturated accept backlog) raises
+    {!Endpoint.Timeout} instead of blocking for the kernel's
+    minutes-long retransmission schedule. A refused connection still
+    fails fast with [Unix.Unix_error] either way; on any failure the
+    socket is closed before the exception escapes. *)

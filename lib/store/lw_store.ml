@@ -66,13 +66,14 @@ let index_of_key t key =
   Lw_crypto.Siphash.to_domain ~key:t.hash_key ~domain_bits:t.domain_bits key
 
 let create ?(hash_key = default_hash_key) ?(keep = 2) ?(block_bytes = default_block_bytes)
-    ~domain_bits ~bucket_size () =
+    ?(initial_epoch = 0) ~domain_bits ~bucket_size () =
   if domain_bits < 1 || domain_bits > max_domain_bits then
     invalid_arg "Lw_store.create: domain_bits out of range";
   if bucket_size <= 0 then invalid_arg "Lw_store.create: bucket_size must be positive";
   if String.length hash_key <> 16 then invalid_arg "Lw_store.create: hash_key must be 16 bytes";
   if keep < 1 then invalid_arg "Lw_store.create: keep must be >= 1";
   if block_bytes < 1 then invalid_arg "Lw_store.create: block_bytes must be positive";
+  if initial_epoch < 0 then invalid_arg "Lw_store.create: initial_epoch must be >= 0";
   let size = 1 lsl domain_bits in
   (* largest power-of-two bucket run that fits the block budget, clamped
      to [1, size] so blocks always tile the domain exactly *)
@@ -98,7 +99,7 @@ let create ?(hash_key = default_hash_key) ?(keep = 2) ?(block_bytes = default_bl
     Array.init (size lsr block_bits) (fun _ ->
         Bytes.make ((1 lsl block_bits) * bucket_size) '\x00')
   in
-  t.entries <- [ { snap = { epoch = 0; blocks; store = t }; pins = 0 } ];
+  t.entries <- [ { snap = { epoch = initial_epoch; blocks; store = t }; pins = 0 } ];
   t
 
 let current_entry t = match t.entries with e :: _ -> e | [] -> assert false
@@ -327,9 +328,12 @@ module Writer = struct
     Lw_util.Xorbuf.is_zero_range w.blocks.(b) ~pos:(local * w.store.bucket_size)
       ~len:w.store.bucket_size
 
-  let seal w =
+  let seal ?epoch w =
     check_open w;
     let t = w.store in
+    let next = match epoch with None -> w.base_epoch + 1 | Some e -> e in
+    if next <= w.base_epoch then
+      invalid_arg "Lw_store.Writer.seal: epoch must exceed the base epoch";
     with_lock t (fun () ->
         let cur = current_entry t in
         if cur.snap.epoch <> w.base_epoch then
@@ -337,7 +341,7 @@ module Writer = struct
         w.sealed <- true;
         (* the writer's block array becomes the new epoch verbatim:
            untouched slots still point at the previous epoch's blocks *)
-        let snap = { epoch = w.base_epoch + 1; blocks = w.blocks; store = t } in
+        let snap = { epoch = next; blocks = w.blocks; store = t } in
         t.entries <- { snap; pins = 0 } :: t.entries;
         retire_locked t;
         Lw_obs.Metrics.incr m_sealed;

@@ -38,6 +38,7 @@ val create :
   ?hash_key:string ->
   ?keep:int ->
   ?block_bytes:int ->
+  ?initial_epoch:int ->
   domain_bits:int ->
   bucket_size:int ->
   unit ->
@@ -45,7 +46,13 @@ val create :
 (** Epoch 0 is the empty (all-zero) database. [hash_key] is the 16-byte
     SipHash keyword key ({!index_of_key}); [keep] (default 2, min 1) is
     how many most-recent epochs survive without pins; [block_bytes]
-    (default [2^18]) bounds the CoW block size. *)
+    (default [2^18]) bounds the CoW block size.
+
+    [initial_epoch] (default 0, must be [>= 0]) numbers the initial
+    empty epoch: a restarted fleet member that persisted a manifest at
+    epoch [e] rebuilds as [create ~initial_epoch:(e - 1)] plus one seal,
+    so its epoch counter rejoins the cluster's instead of restarting
+    from zero. *)
 
 val domain_bits : t -> int
 val size : t -> int
@@ -180,9 +187,16 @@ module Writer : sig
   (** Bytes copied so far — the real cost of this epoch vs. the naive
       full-database rewrite ([total_bytes]). *)
 
-  val seal : t -> snapshot
+  val seal : ?epoch:int -> t -> snapshot
   (** Atomically publish the batch as the next epoch and return its
       snapshot (unpinned). Raises [Invalid_argument] if another writer
       sealed since this one was opened (stale writer), or on double
-      seal. *)
+      seal.
+
+      [?epoch] publishes under an explicit epoch number (must exceed the
+      base epoch) instead of [base + 1] — how a cluster shard that was
+      offline for several epochs applies one combined catch-up diff and
+      lands exactly on the fleet's current epoch. Epoch numbers in one
+      store may therefore have gaps; pins and [diff_ranges] are
+      unaffected (both work on live snapshots, not arithmetic). *)
 end

@@ -256,6 +256,33 @@ let test_rule_unbounded_wait () =
   Alcotest.(check int) "out of scope" 0
     (count_rule "unbounded-wait" (findings_for ~path:"lib/net/wan.ml" bad_recv))
 
+let test_rule_process_hygiene () =
+  (* spawning/reaping/signalling processes outside lib/cluster *)
+  let bad_spawn = "let p = Unix.create_process prog argv stdin stdout stderr" in
+  Alcotest.(check int) "create_process caught" 1
+    (count_rule "process-hygiene" (findings_for ~path:"lib/net/fixture.ml" bad_spawn));
+  let bad_reap = "let rec reap () = ignore (Unix.waitpid [] (-1))" in
+  Alcotest.(check int) "waitpid caught" 1
+    (count_rule "process-hygiene" (findings_for ~path:"lib/core/fixture.ml" bad_reap));
+  let bad_kill = "let nuke pid = Unix.kill pid Sys.sigkill" in
+  Alcotest.(check int) "kill caught" 1
+    (count_rule "process-hygiene" (findings_for ~path:"bin/fixture.ml" bad_kill));
+  Alcotest.(check int) "Sys.command caught" 1
+    (count_rule "process-hygiene"
+       (findings_for ~path:"bench/fixture.ml" "let _ = Sys.command \"ls\""));
+  (* the supervisor's home is exempt — it owns the lifecycle *)
+  Alcotest.(check int) "lib/cluster exempt" 0
+    (count_rule "process-hygiene"
+       (findings_for ~path:"lib/cluster/supervisor.ml" (bad_spawn ^ "\n" ^ bad_kill)));
+  (* asking the supervisor instead is the clean shape *)
+  let good = "let restart sup id = Lw_cluster.Supervisor.kill sup id" in
+  Alcotest.(check int) "supervisor API clean" 0
+    (count_rule "process-hygiene" (findings_for ~path:"lib/net/fixture.ml" good));
+  (* Unix.getpid and friends are not lifecycle calls *)
+  Alcotest.(check int) "getpid clean" 0
+    (count_rule "process-hygiene"
+       (findings_for ~path:"lib/net/fixture.ml" "let me () = Unix.getpid ()"))
+
 let test_pragma_suppression () =
   (* same-line pragma *)
   let r1 =
@@ -739,6 +766,7 @@ let () =
           Alcotest.test_case "key-print" `Quick test_rule_key_print;
           Alcotest.test_case "server-abort" `Quick test_rule_server_abort;
           Alcotest.test_case "unbounded-wait" `Quick test_rule_unbounded_wait;
+          Alcotest.test_case "process-hygiene" `Quick test_rule_process_hygiene;
           Alcotest.test_case "pragma suppression" `Quick test_pragma_suppression;
           Alcotest.test_case "old Ct.select caught" `Quick test_old_ct_select_is_caught;
         ] );

@@ -362,6 +362,44 @@ let test_tcp_recv_timeout () =
   client.Endpoint.close ();
   Tcp.shutdown server
 
+let test_tcp_connect_timeout () =
+  (* a listener that never accepts, with its backlog already saturated:
+     further SYNs are dropped on the floor, so a plain connect would sit
+     in the kernel's minutes-long retransmission schedule — the bounded
+     dial must surface Endpoint.Timeout instead *)
+  let srv = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt srv Unix.SO_REUSEADDR true;
+  Unix.bind srv (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", 0));
+  Unix.listen srv 1;
+  let port =
+    match Unix.getsockname srv with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port) in
+  let fillers =
+    List.init 8 (fun _ ->
+        let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.set_nonblock s;
+        (try Unix.connect s addr
+         with Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _)
+         -> ());
+        s)
+  in
+  Thread.delay 0.05 (* let the accept queue fill *);
+  let t0 = Unix.gettimeofday () in
+  Alcotest.(check bool) "dial times out" true
+    (match Tcp.connect ~connect_timeout_s:0.2 ~host:"127.0.0.1" ~port () with
+    | exception Endpoint.Timeout -> true
+    | ep ->
+        ep.Endpoint.close ();
+        false);
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "after the configured deadline" true (dt >= 0.15);
+  Alcotest.(check bool) "promptly, not the kernel schedule" true (dt < 2.0);
+  List.iter (fun s -> try Unix.close s with Unix.Unix_error _ -> ()) fillers;
+  Unix.close srv
+
 (* ---------------- Secure_channel ---------------- *)
 
 let rng () = Lw_crypto.Drbg.create ~seed:"secure-channel-tests"
@@ -536,6 +574,7 @@ let () =
           Alcotest.test_case "concurrent clients" `Quick test_tcp_concurrent_clients;
           Alcotest.test_case "shutdown prompt" `Quick test_tcp_shutdown_prompt;
           Alcotest.test_case "recv timeout" `Quick test_tcp_recv_timeout;
+          Alcotest.test_case "connect timeout" `Quick test_tcp_connect_timeout;
         ] );
       ( "secure-channel",
         [
