@@ -6,6 +6,7 @@ type push_report = {
   renamed : (string * string) list;
   code_epoch : int;
   data_epoch : int;
+  keyword_epoch : int;
 }
 
 let page_path site suffix = site.domain ^ suffix
@@ -71,6 +72,7 @@ let push ?(rename_on_collision = true) universe ~publisher site =
                         renamed = List.rev !renamed;
                         code_epoch;
                         data_epoch;
+                        keyword_epoch = Universe.keyword_epoch universe;
                       }
                 | (suffix, value) :: rest -> (
                     let path = page_path site suffix in

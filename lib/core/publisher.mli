@@ -18,13 +18,15 @@ type push_report = {
   renamed : (string * string) list;
   code_epoch : int;
   data_epoch : int;
+  keyword_epoch : int;
 }
 (** [renamed] records pages that hit an index collision and were stored
     under an alternative name ([old_path, new_path]) — the paper's
     "publisher can simply select another key name" recovery.
-    [code_epoch]/[data_epoch] are the storage epochs this push sealed:
-    a push is one atomic mutation batch, and these are the epochs at
-    which its content became visible to PIR servers. *)
+    [code_epoch]/[data_epoch]/[keyword_epoch] are the storage epochs this
+    push sealed: a push is one atomic mutation batch, and these are the
+    epochs at which its content became visible to PIR servers (pages land
+    in the keyword index under their final, post-rename path). *)
 
 val push :
   ?rename_on_collision:bool ->

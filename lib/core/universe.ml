@@ -30,8 +30,12 @@ type t = {
   geometry : geometry;
   code_store : Lw_pir.Store.t;
   data_store : Lw_pir.Store.t;
+  kw_store : Lw_pir.Kw_store.t;
+      (* cuckoo-backed keyword index over the same paths as the data
+         store: same geometry, separate hash key, sealed per epoch *)
   code_hash_key : string;
   data_hash_key : string;
+  kw_hash_key : string;
   owners : (string, string) Hashtbl.t; (* domain -> publisher *)
   data_paths : (string, unit) Hashtbl.t;
 }
@@ -42,6 +46,7 @@ let create ?(seed = "lightweb-universe") ~name geometry =
   if geometry.fetches_per_page < 1 then invalid_arg "Universe.create: fetches_per_page < 1";
   let code_hash_key = derive_key seed (name ^ "/code") in
   let data_hash_key = derive_key seed (name ^ "/data") in
+  let kw_hash_key = derive_key seed (name ^ "/keyword") in
   {
     name;
     seed;
@@ -52,8 +57,12 @@ let create ?(seed = "lightweb-universe") ~name geometry =
     data_store =
       Lw_pir.Store.create ~hash_key:data_hash_key ~domain_bits:geometry.data_domain_bits
         ~bucket_size:geometry.data_blob_size ();
+    kw_store =
+      Lw_pir.Kw_store.create ~hash_key:kw_hash_key ~domain_bits:geometry.data_domain_bits
+        ~bucket_size:geometry.data_blob_size ();
     code_hash_key;
     data_hash_key;
+    kw_hash_key;
     owners = Hashtbl.create 64;
     data_paths = Hashtbl.create 1024;
   }
@@ -118,9 +127,19 @@ let push_data t ~publisher ~path ~value =
       | Ok () -> (
           let text = Lw_json.Json.to_string value in
           match Lw_pir.Store.insert t.data_store ~key:path ~value:text with
-          | Ok () ->
-              Hashtbl.replace t.data_paths path ();
-              Ok ()
+          | Ok () -> (
+              (* mirror the page into the keyword index under its final
+                 (post-rename) path, so keyword GET and path GET resolve
+                 to byte-identical values *)
+              match Lw_pir.Kw_store.insert t.kw_store ~key:path ~value:text with
+              | Ok () ->
+                  Hashtbl.replace t.data_paths path ();
+                  Ok ()
+              | Error `Too_large ->
+                  (* unreachable: the keyword store shares the data
+                     store's bucket geometry, so anything the data insert
+                     accepted fits here too *)
+                  Error (Printf.sprintf "keyword blob for %s exceeds universe data size" path))
           | Error Lw_pir.Store.Too_large ->
               Error
                 (Printf.sprintf "data blob of %d bytes exceeds universe data size %d"
@@ -138,6 +157,7 @@ let remove_data t ~publisher ~path =
       | Error _ as e -> e
       | Ok () ->
           Hashtbl.remove t.data_paths path;
+          ignore (Lw_pir.Kw_store.remove t.kw_store path);
           Ok (Lw_pir.Store.remove t.data_store path))
 
 let page_count t = Lw_pir.Store.count t.data_store
@@ -149,8 +169,12 @@ let data_value t path = Lw_pir.Store.find t.data_store path
    servers of a pair serve from the same published epoch; returns the
    (code, data) epochs now current. *)
 let publish_updates t =
+  ignore (Lw_pir.Kw_store.publish t.kw_store);
   ( Lw_store.Snapshot.epoch (Lw_pir.Store.publish t.code_store),
     Lw_store.Snapshot.epoch (Lw_pir.Store.publish t.data_store) )
+
+let keyword_epoch t = Lw_store.current_epoch (Lw_pir.Kw_store.engine t.kw_store)
+let keyword_store t = t.kw_store
 
 let pir_server t ~which store hash_key blob_size =
   (* publish pending mutations first: a server must never see the
@@ -168,6 +192,29 @@ let code_servers t =
 let data_servers t =
   ( pir_server t ~which:"data-0" t.data_store t.data_hash_key t.geometry.data_blob_size,
     pir_server t ~which:"data-1" t.data_store t.data_hash_key t.geometry.data_blob_size )
+
+let keyword_servers t =
+  (* seal pending keyword mutations first, like pir_server: servers only
+     ever see sealed epochs *)
+  ignore (Lw_pir.Kw_store.publish t.kw_store);
+  let mk which =
+    Zltp_server.create
+      ~server_id:(Printf.sprintf "%s/%s" t.name which)
+      ~hash_key:t.kw_hash_key ~blob_size:t.geometry.data_blob_size
+      (Zltp_server.Pir_versioned (Lw_pir.Kw_store.engine t.kw_store))
+  in
+  (mk "keyword-0", mk "keyword-1")
+
+let sharded_keyword_servers t ~shard_bits =
+  ignore (Lw_pir.Kw_store.publish t.kw_store);
+  let mk which =
+    Zltp_server.create
+      ~server_id:(Printf.sprintf "%s/%s" t.name which)
+      ~hash_key:t.kw_hash_key ~blob_size:t.geometry.data_blob_size
+      (Zltp_server.Pir_sharded
+         (Zltp_frontend.of_store (Lw_pir.Kw_store.engine t.kw_store) ~shard_bits))
+  in
+  (mk "keyword-sharded-0", mk "keyword-sharded-1")
 
 let sharded_data_servers t ~shard_bits =
   ignore (Lw_pir.Store.publish t.data_store);
@@ -206,6 +253,8 @@ let stats t =
     ("domains", Hashtbl.length t.owners);
     ("code blobs", code_count t);
     ("data blobs", page_count t);
+    ("keyword entries", Lw_pir.Kw_store.count t.kw_store);
+    ("keyword stash", Lw_pir.Kw_store.stash_size t.kw_store);
     ("code blob size", t.geometry.code_blob_size);
     ("data blob size", t.geometry.data_blob_size);
     ("fetches per page", t.geometry.fetches_per_page);

@@ -60,13 +60,21 @@ val push_data :
     different key (the publisher must then rename, §5.1). *)
 
 val remove_data : t -> publisher:string -> path:string -> (bool, string) result
+(** Removes the page from both the data store and the keyword index. *)
 
 val publish_updates : t -> int * int
-(** Seal every pending code/data mutation as new storage epochs — the
-    atomic point at which pushed updates become visible to PIR servers —
-    and return the now-current [(code_epoch, data_epoch)]. A no-op pair
-    of current epochs when nothing is pending. Queries pinned to earlier
-    epochs keep being answered from those epochs' snapshots. *)
+(** Seal every pending code/data/keyword mutation as new storage epochs —
+    the atomic point at which pushed updates become visible to PIR
+    servers — and return the now-current [(code_epoch, data_epoch)] (see
+    {!keyword_epoch} for the keyword store's). A no-op pair of current
+    epochs when nothing is pending. Queries pinned to earlier epochs keep
+    being answered from those epochs' snapshots. *)
+
+val keyword_epoch : t -> int
+(** The keyword store's current sealed epoch. *)
+
+val keyword_store : t -> Lw_pir.Kw_store.t
+(** The cuckoo-backed keyword index itself (tests, stash accounting). *)
 
 val page_count : t -> int
 val code_count : t -> int
@@ -84,6 +92,18 @@ val code_servers : t -> Zltp_server.t * Zltp_server.t
     faithful: the deployments replicate identical data. *)
 
 val data_servers : t -> Zltp_server.t * Zltp_server.t
+
+val keyword_servers : t -> Zltp_server.t * Zltp_server.t
+(** The two logical PIR servers for the cuckoo keyword index: every page
+    pushed to the universe is retrievable by path through the wire-v4
+    [Keyword_query] verb, byte-identical to the data store's path GET.
+    Pending keyword mutations are sealed first, like every server
+    constructor. *)
+
+val sharded_keyword_servers : t -> shard_bits:int -> Zltp_server.t * Zltp_server.t
+(** Keyword servers deployed as front-ends over [2^shard_bits] shards —
+    the keyword verb's width-2 batch rides the shard (or fan-out tree)
+    batching unchanged. *)
 
 val sharded_data_servers : t -> shard_bits:int -> Zltp_server.t * Zltp_server.t
 (** The same two logical data servers, each deployed as a front-end over

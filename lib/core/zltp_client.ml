@@ -51,6 +51,9 @@ type t = {
   clock : Lw_obs.Clock.t;
   mutable params : params option;
   mutable keymap : Lw_pir.Keymap.t option;
+  (* the two cuckoo candidate hashes (salts 0/1 of the Welcome hash_key)
+     a keyword GET probes — derived once at handshake *)
+  mutable kw_maps : (Lw_pir.Keymap.t * Lw_pir.Keymap.t) option;
   mutable next_qid : int;
   mutable queries : int;
   mutable retries : int;
@@ -144,8 +147,12 @@ let check_params t (w : Zltp_wire.server_msg) =
       match t.params with
       | None ->
           t.params <- Some { mode; domain_bits; blob_size; hash_key };
-          if mode = Zltp_mode.Pir2 then
-            t.keymap <- Some (Lw_pir.Keymap.create ~hash_key ~domain_bits);
+          if mode = Zltp_mode.Pir2 then begin
+            let base = Lw_pir.Keymap.create ~hash_key ~domain_bits in
+            t.keymap <- Some base;
+            t.kw_maps <-
+              Some (Lw_pir.Keymap.derive base ~salt:0, Lw_pir.Keymap.derive base ~salt:1)
+          end;
           Ok epoch
       | Some p ->
           if
@@ -303,6 +310,7 @@ let connect_replicated ?(prefer = [ Zltp_mode.Pir2; Zltp_mode.Enclave ]) ?rng
         clock;
         params = None;
         keymap = None;
+        kw_maps = None;
         next_qid = 1;
         queries = 0;
         retries = 0;
@@ -585,6 +593,151 @@ let pir_batch_attempt t indexed_keys =
                    (List.combine shares0 shares1))
           | _ -> first_error [ r0; r1 ])
       | _ -> first_error [ sent0; sent1 ])
+
+(* ---- keyword GET ----
+
+   A keyword lookup privately probes BOTH cuckoo candidate buckets of the
+   key as one [Keyword_query] — two DPF key shares per server, answered as
+   a single width-2 entry into the bit-packed batch scan, so the whole
+   lookup is one round trip and ~one scan pass. The wire shape is fixed
+   and query-independent: always two keys out, always two shares back,
+   even when the candidates coincide (a second real probe of the same
+   bucket), so the verb leaks nothing about the key. *)
+
+let keyword_candidates t key =
+  match t.kw_maps with
+  | Some (h0, h1) -> (Lw_pir.Keymap.index_of_key h0 key, Lw_pir.Keymap.index_of_key h1 key)
+  | None -> invalid_arg "Zltp_client: not connected"
+
+let expect_keyword t role ~epoch = function
+  | Ok (Zltp_wire.Keyword_answer { epoch = e; share0; share1; _ }) ->
+      if e <> epoch then begin
+        note_epoch_trouble t;
+        transient (Printf.sprintf "keyword answer epoch %d, queried %d" e epoch)
+      end
+      else Ok (share0, share1)
+  | Ok (Zltp_wire.Err { code; message; _ }) ->
+      if epoch_error code then begin
+        note_epoch_trouble t;
+        transient message
+      end
+      else if code = Zltp_wire.err_degraded || code = Zltp_wire.err_internal then
+        role_err t role (transient message)
+      else fatal message
+  | Ok _ -> role_err t role (transient "protocol violation: expected Keyword_answer")
+  | Error _ as e -> role_err t role e
+
+let keyword_attempt t key =
+  if t.resync_needed then resync t;
+  match pir_sessions t with
+  | Error _ as e -> e
+  | Ok ((role0, s0), (role1, s1)) -> (
+      let qid = fresh_qid t in
+      let epoch = query_epoch t s0 s1 in
+      let db = (params_exn t).domain_bits in
+      let i0, i1 = keyword_candidates t key in
+      (* fresh DPF key pair per candidate per attempt, like every retry:
+         a retried keyword query is indistinguishable from a new one *)
+      let p0 = Lw_dpf.Dpf.gen ~domain_bits:db ~alpha:i0 t.rng in
+      let p1 = Lw_dpf.Dpf.gen ~domain_bits:db ~alpha:i1 t.rng in
+      let q which =
+        Zltp_wire.Keyword_query
+          {
+            qid;
+            epoch;
+            dpf_key0 = Lw_dpf.Dpf.serialize (which p0);
+            dpf_key1 = Lw_dpf.Dpf.serialize (which p1);
+          }
+      in
+      let sent0 = role_err t role0 (send_msg s0.ep (q fst)) in
+      let sent1 = role_err t role1 (send_msg s1.ep (q snd)) in
+      match (sent0, sent1) with
+      | Ok (), Ok () -> (
+          let r0 = expect_keyword t role0 ~epoch (recv_matching s0.ep ~qid) in
+          let r1 = expect_keyword t role1 ~epoch (recv_matching s1.ep ~qid) in
+          match (r0, r1) with
+          | Ok (a0, a1), Ok (b0, b1) ->
+              t.queries <- t.queries + 1;
+              Lw_obs.Metrics.incr m_queries;
+              let bucket0 = Lw_pir.Client.combine ~resp0:a0 ~resp1:b0 in
+              let bucket1 = Lw_pir.Client.combine ~resp0:a1 ~resp1:b1 in
+              Ok
+                (match Lw_pir.Record.decode_for_key ~key bucket0 with
+                | Some _ as v -> v
+                | None -> Lw_pir.Record.decode_for_key ~key bucket1)
+          | _ -> first_error [ r0; r1 ])
+      | _ -> first_error [ sent0; sent1 ])
+
+let keyword_get t key =
+  match (params_exn t).mode with
+  | Zltp_mode.Enclave -> Error "keyword GET is PIR-only; enclave mode fetches by key directly"
+  | Zltp_mode.Pir2 ->
+      fresh_op_epoch t;
+      with_retry t (fun () -> keyword_attempt t key)
+
+(* Correlated multi-keyword fetch: 2k DPF keys ride one [Pir_batch] (the
+   servers' bit-packed kernel scans once per 8 probes), and the shares
+   are re-paired per keyword on decode — how a cluster retrieval fetches
+   its k members in one round trip. *)
+let keyword_batch_attempt t keyed =
+  if t.resync_needed then resync t;
+  match pir_sessions t with
+  | Error _ as e -> e
+  | Ok ((role0, s0), (role1, s1)) -> (
+      let qid = fresh_qid t in
+      let epoch = query_epoch t s0 s1 in
+      let db = (params_exn t).domain_bits in
+      let gens =
+        List.concat_map
+          (fun (_, (i0, i1)) ->
+            [
+              Lw_dpf.Dpf.gen ~domain_bits:db ~alpha:i0 t.rng;
+              Lw_dpf.Dpf.gen ~domain_bits:db ~alpha:i1 t.rng;
+            ])
+          keyed
+      in
+      let batch which =
+        Zltp_wire.Pir_batch
+          { qid; epoch; dpf_keys = List.map (fun ks -> Lw_dpf.Dpf.serialize (which ks)) gens }
+      in
+      let n = List.length gens in
+      let sent0 = role_err t role0 (send_msg s0.ep (batch fst)) in
+      let sent1 = role_err t role1 (send_msg s1.ep (batch snd)) in
+      match (sent0, sent1) with
+      | Ok (), Ok () -> (
+          let r0 = expect_batch t role0 ~epoch n (recv_matching s0.ep ~qid) in
+          let r1 = expect_batch t role1 ~epoch n (recv_matching s1.ep ~qid) in
+          match (r0, r1) with
+          | Ok shares0, Ok shares1 ->
+              t.queries <- t.queries + List.length keyed;
+              Lw_obs.Metrics.add m_queries (List.length keyed);
+              let buckets =
+                List.map2 (fun resp0 resp1 -> Lw_pir.Client.combine ~resp0 ~resp1) shares0
+                  shares1
+              in
+              let rec pair_up keyed buckets acc =
+                match (keyed, buckets) with
+                | [], [] -> Ok (List.rev acc)
+                | (key, _) :: krest, b0 :: b1 :: brest ->
+                    let v =
+                      match Lw_pir.Record.decode_for_key ~key b0 with
+                      | Some _ as v -> v
+                      | None -> Lw_pir.Record.decode_for_key ~key b1
+                    in
+                    pair_up krest brest (v :: acc)
+                | _ -> fatal "internal: keyword batch arity"
+              in
+              pair_up keyed buckets []
+          | _ -> first_error [ r0; r1 ])
+      | _ -> first_error [ sent0; sent1 ])
+
+let keyword_get_batch t keys =
+  match (params_exn t).mode with
+  | Zltp_mode.Enclave -> Error "keyword GET is PIR-only; enclave mode fetches by key directly"
+  | Zltp_mode.Pir2 ->
+      let keyed = List.map (fun k -> (k, keyword_candidates t k)) keys in
+      fresh_op_epoch t;
+      with_retry t (fun () -> keyword_batch_attempt t keyed)
 
 let get_batch t keys =
   match (params_exn t).mode with

@@ -96,6 +96,32 @@ val get_batch : t -> string list -> (string option list, string) result
 (** Batched private-GETs (one round trip, server-side fused scan). A
     retried batch regenerates {e all} its DPF keys. *)
 
+(** {2 Keyword search} (PIR mode, against a cuckoo-backed keyword store)
+
+    A keyword GET privately probes {e both} cuckoo candidate buckets of
+    the key (salts 0/1 of the Welcome hash key) as one wire-v4
+    [Keyword_query]: two fresh DPF key shares per server, answered as a
+    single width-2 entry into the server's bit-packed batch scan — one
+    round trip, ~one scan pass. The shape is fixed and query-independent
+    (always two probes, even when the candidates coincide), so the verb
+    leaks nothing about the key; retries regenerate all DPF keys as
+    usual. *)
+
+val keyword_get : t -> string -> (string option, string) result
+(** [keyword_get t key] resolves [key] against the keyword store this
+    session is connected to. [Ok None] when the key is unpublished (or
+    stash-resident on the publisher, which a sized deployment avoids). *)
+
+val keyword_get_batch : t -> string list -> (string option list, string) result
+(** k correlated keyword lookups in one round trip: the 2k candidate
+    probes ride a single [Pir_batch] (bit-packed, one scan pass per 8
+    probes) and are re-paired per keyword on decode — how a cluster
+    retrieval fetches its members. *)
+
+val keyword_candidates : t -> string -> int * int
+(** The two buckets a keyword GET would probe (tests / cost accounting;
+    may coincide). *)
+
 (** {2 Epochs and page visits}
 
     Since wire v3, every PIR query names the database epoch it must be

@@ -336,6 +336,27 @@ let answer_via_tree t rep k =
   Lw_obs.Metrics.incr m_tree_answers;
   go rep.root k
 
+(* The batched tree walk: one pass over the tree per key, collecting the
+   sub-key each leaf would have received into a shard-indexed array.
+   Re-basing composes exactly as in [answer_via_tree], so [out.(s)] is
+   bit-identical to the flat [Distributed.split] sub-key for shard [s] —
+   which is what lets batches (and the keyword verb riding them) use the
+   hierarchical fan-out and still feed the bit-packed shard kernel. *)
+let leaf_subkeys t rep k =
+  let out = Array.make (Array.length t.shards) k in
+  let rec go node key =
+    match node with
+    | Leaf s -> out.(s) <- key
+    | Inner { levels; children } ->
+        let subs = Lw_dpf.Distributed.split key ~shard_bits:levels in
+        (* [go] branches on the PUBLIC tree shape (Leaf/Inner), never on
+           key bits — the interprocedural taint over-approximates here *)
+        (* lw-lint: allow taint lines=1 *)
+        Array.iteri (fun i child -> go child subs.(i)) children
+  in
+  go rep.root k;
+  out
+
 let answer t k =
   check_key t k;
   Lw_obs.Span.with_ ~name:"zltp.frontend.answer" (fun () ->
@@ -377,7 +398,11 @@ let answer_batch t keys =
   else
     Lw_obs.Span.with_ ~name:"zltp.frontend.answer_batch" (fun () ->
         let subs =
-          Array.map (fun k -> Lw_dpf.Distributed.split k ~shard_bits:t.shard_bits) keys
+          match t.tree with
+          | Some (_, rep) ->
+              Lw_obs.Metrics.add m_tree_answers n;
+              Array.map (fun k -> leaf_subkeys t rep k) keys
+          | None -> Array.map (fun k -> Lw_dpf.Distributed.split k ~shard_bits:t.shard_bits) keys
         in
         let by_shard =
           Array.mapi

@@ -133,7 +133,10 @@ val answer_batch : t -> Lw_dpf.Dpf.key array -> string array
 (** Batched private-GET: each shard receives the whole batch of its
     sub-keys and answers them through the bit-packed scan kernel
     ({!Lw_pir.Server.answer_batch}), so a batch pays one streamed pass
-    over each shard's slice per 8 queries. [answer_batch t [|k|]] and
+    over each shard's slice per 8 queries. When a fan-out tree is active
+    ({!set_tree_fanout}), each key's sub-keys are derived through the
+    hierarchical walk instead of the flat split — bit-identical leaves,
+    so the shard batches are unchanged. [answer_batch t [|k|]] and
     [[|answer t k|]] agree byte-for-byte. *)
 
 type shard_timing = { shard : int; eval_s : float; scan_s : float }

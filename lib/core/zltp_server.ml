@@ -246,6 +246,24 @@ let handle c msg =
           | Error (code, e) ->
               Log.info (fun m -> m "%s: rejected batch: %s" t.server_id e);
               err ~qid code e))
+  | Zltp_wire.Keyword_query { qid; epoch; dpf_key0; dpf_key1 } -> (
+      (* keyword GET = both cuckoo candidate probes as one width-2 entry
+         into the bit-packed batch kernel: one streamed scan pass, one
+         round trip, and the same epoch pinning / degraded refusal as any
+         other PIR batch *)
+      match c.mode with
+      | None -> err ~qid Zltp_wire.err_not_negotiated "hello first"
+      | Some Zltp_mode.Enclave -> err ~qid Zltp_wire.err_wrong_mode "session is in enclave mode"
+      | Some Zltp_mode.Pir2 -> (
+          match answer_pir_batch t ~epoch [ dpf_key0; dpf_key1 ] with
+          | Ok [ share0; share1 ] ->
+              t.queries <- t.queries + 1;
+              Log.debug (fun m -> m "%s: keyword-GET #%d answered" t.server_id t.queries);
+              Some (Zltp_wire.Keyword_answer { qid; epoch; share0; share1 })
+          | Ok _ -> err ~qid Zltp_wire.err_internal "keyword answer arity"
+          | Error (code, e) ->
+              Log.info (fun m -> m "%s: rejected keyword query: %s" t.server_id e);
+              err ~qid code e))
   | Zltp_wire.Enclave_get { qid; key } -> (
       match c.mode with
       | None -> err ~qid Zltp_wire.err_not_negotiated "hello first"

@@ -2,6 +2,7 @@ type client_msg =
   | Hello of { version : int; modes : Zltp_mode.t list }
   | Pir_query of { qid : int; epoch : int; dpf_key : string }
   | Pir_batch of { qid : int; epoch : int; dpf_keys : string list }
+  | Keyword_query of { qid : int; epoch : int; dpf_key0 : string; dpf_key1 : string }
   | Enclave_get of { qid : int; key : string }
   | Health of { qid : int }
   | Sync of { qid : int }
@@ -19,12 +20,13 @@ type server_msg =
     }
   | Answer of { qid : int; epoch : int; share : string }
   | Batch_answer of { qid : int; epoch : int; shares : string list }
+  | Keyword_answer of { qid : int; epoch : int; share0 : string; share1 : string }
   | Enclave_answer of { qid : int; value : string option }
   | Health_reply of { qid : int; shards_total : int; shards_down : int; epoch : int }
   | Sync_reply of { qid : int; epoch : int; oldest : int }
   | Err of { qid : int; code : int; message : string }
 
-let protocol_version = 3
+let protocol_version = 4
 let err_not_negotiated = 1
 let err_bad_request = 2
 let err_wrong_mode = 3
@@ -38,14 +40,15 @@ let err_epoch_ahead = 7
    than a specific query uses qid 0. *)
 let reply_qid = function
   | Welcome _ -> None
-  | Answer { qid; _ } | Batch_answer { qid; _ } | Enclave_answer { qid; _ }
-  | Health_reply { qid; _ } | Sync_reply { qid; _ } | Err { qid; _ } ->
+  | Answer { qid; _ } | Batch_answer { qid; _ } | Keyword_answer { qid; _ }
+  | Enclave_answer { qid; _ } | Health_reply { qid; _ } | Sync_reply { qid; _ } | Err { qid; _ }
+    ->
       Some qid
 
 let request_qid = function
   | Hello _ | Bye -> None
-  | Pir_query { qid; _ } | Pir_batch { qid; _ } | Enclave_get { qid; _ } | Health { qid }
-  | Sync { qid } ->
+  | Pir_query { qid; _ } | Pir_batch { qid; _ } | Keyword_query { qid; _ }
+  | Enclave_get { qid; _ } | Health { qid } | Sync { qid } ->
       Some qid
 
 (* ---- primitive writers/readers: tag byte, u8, u32-be, length-prefixed
@@ -153,7 +156,13 @@ let encode_client msg =
       add_u32 buf qid
   | Sync { qid } ->
       add_u8 buf 7;
-      add_u32 buf qid);
+      add_u32 buf qid
+  | Keyword_query { qid; epoch; dpf_key0; dpf_key1 } ->
+      add_u8 buf 8;
+      add_u32 buf qid;
+      add_u32 buf epoch;
+      add_str buf dpf_key0;
+      add_str buf dpf_key1);
   seal (Buffer.contents buf)
 
 let mode_of_tag r =
@@ -183,6 +192,12 @@ let decode_client s =
       | 5 -> finish r Bye
       | 6 -> finish r (Health { qid = u32 r })
       | 7 -> finish r (Sync { qid = u32 r })
+      | 8 ->
+          let qid = u32 r in
+          let epoch = u32 r in
+          let dpf_key0 = str r in
+          let dpf_key1 = str r in
+          finish r (Keyword_query { qid; epoch; dpf_key0; dpf_key1 })
       | t -> raise (Decode (Printf.sprintf "unknown client tag %d" t)))
     s
 
@@ -233,7 +248,13 @@ let encode_server msg =
       add_u8 buf 7;
       add_u32 buf qid;
       add_u32 buf epoch;
-      add_u32 buf oldest);
+      add_u32 buf oldest
+  | Keyword_answer { qid; epoch; share0; share1 } ->
+      add_u8 buf 8;
+      add_u32 buf qid;
+      add_u32 buf epoch;
+      add_str buf share0;
+      add_str buf share1);
   seal (Buffer.contents buf)
 
 let decode_server s =
@@ -279,5 +300,11 @@ let decode_server s =
           let epoch = u32 r in
           let oldest = u32 r in
           finish r (Sync_reply { qid; epoch; oldest })
+      | 8 ->
+          let qid = u32 r in
+          let epoch = u32 r in
+          let share0 = str r in
+          let share1 = str r in
+          finish r (Keyword_answer { qid; epoch; share0; share1 })
       | t -> raise (Decode (Printf.sprintf "unknown server tag %d" t)))
     s

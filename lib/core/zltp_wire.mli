@@ -26,12 +26,25 @@
     named epoch answers [Err] with {!err_epoch_retired} /
     {!err_epoch_ahead}, and the [Sync]/[Sync_reply] pair — valid before
     [Hello], like [Health] — lets a client cheaply re-learn a replica's
-    published epoch range before retrying. *)
+    published epoch range before retrying.
+
+    Protocol version 4 makes keyword search a first-class verb:
+    [Keyword_query] carries {e two} DPF key shares — one per cuckoo
+    candidate bucket of the (hidden) search key — that the server answers
+    as a single width-2 entry into its bit-packed batch scan, so a
+    keyword GET costs ~one scan pass, not two round trips. The two-probe
+    shape is fixed and query-independent: every keyword query ships
+    exactly two keys and receives exactly two shares, whether or not the
+    key's candidates coincide, so the verb leaks nothing about the key
+    beyond "a keyword lookup happened". *)
 
 type client_msg =
   | Hello of { version : int; modes : Zltp_mode.t list }
   | Pir_query of { qid : int; epoch : int; dpf_key : string }
   | Pir_batch of { qid : int; epoch : int; dpf_keys : string list }
+  | Keyword_query of { qid : int; epoch : int; dpf_key0 : string; dpf_key1 : string }
+      (** one DPF key share per cuckoo candidate bucket (salts 0/1 of the
+          Welcome [hash_key]); always two, even when candidates coincide *)
   | Enclave_get of { qid : int; key : string }
   | Health of { qid : int }
   | Sync of { qid : int }  (** ask for the replica's current/oldest epoch *)
@@ -49,6 +62,8 @@ type server_msg =
     }
   | Answer of { qid : int; epoch : int; share : string }
   | Batch_answer of { qid : int; epoch : int; shares : string list }
+  | Keyword_answer of { qid : int; epoch : int; share0 : string; share1 : string }
+      (** one share per candidate probe, same order as the query's keys *)
   | Enclave_answer of { qid : int; value : string option }
   | Health_reply of { qid : int; shards_total : int; shards_down : int; epoch : int }
   | Sync_reply of { qid : int; epoch : int; oldest : int }

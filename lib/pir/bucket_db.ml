@@ -85,6 +85,16 @@ let xor_block_into_masked t ~base ~count ~bits ~bits_pos ~dst =
   Lw_util.Xorbuf.xor_buckets_masked ~bits ~bits_pos ~count ~src:t.data
     ~src_pos:(base * t.bucket_size) ~bucket:t.bucket_size ~dst
 
+let xor_block_into_masked2 t ~base ~count ~bits0 ~bits0_pos ~bits1 ~bits1_pos ~dst0 ~dst1 =
+  if count < 0 || base < 0 || base > size t - count then
+    invalid_arg "Bucket_db: block out of range";
+  if t.tracing then
+    for j = 0 to count - 1 do
+      t.trace_rev <- (base + j) :: t.trace_rev
+    done;
+  Lw_util.Xorbuf.xor_buckets_masked2 ~bits0 ~bits0_pos ~bits1 ~bits1_pos ~count ~src:t.data
+    ~src_pos:(base * t.bucket_size) ~bucket:t.bucket_size ~dst0 ~dst1
+
 let xor_bucket_into_packed t i ~pack ~dsts =
   check_index t i;
   record t i;

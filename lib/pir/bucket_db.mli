@@ -50,6 +50,21 @@ val xor_block_into_masked :
     one bounds gate). Tracing records every bucket individually, exactly
     as the scalar path would. *)
 
+val xor_block_into_masked2 :
+  t ->
+  base:int ->
+  count:int ->
+  bits0:Bytes.t ->
+  bits0_pos:int ->
+  bits1:Bytes.t ->
+  bits1_pos:int ->
+  dst0:Bytes.t ->
+  dst1:Bytes.t ->
+  unit
+(** Width-2 fused block step ({!Lw_util.Xorbuf.xor_buckets_masked2}): one
+    streamed pass over the block feeds both accumulators — the two-probe
+    keyword scan. Each bucket is traced once, like a packed pass. *)
+
 val xor_bucket_into_packed : t -> int -> pack:int -> dsts:Bytes.t array -> unit
 (** [xor_bucket_into_packed db i ~pack ~dsts] streams bucket [i] once into
     the 1–8 accumulators of [dsts], lane [q] masked by bit [q] of [pack] —

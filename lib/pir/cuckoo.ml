@@ -4,6 +4,7 @@ type t = {
   h1 : Keymap.t;
   max_kicks : int;
   stash : (string, string) Hashtbl.t;
+  on_change : int -> unit;
   mutable count : int;
 }
 
@@ -11,7 +12,8 @@ let probes_per_query = 2
 
 let default_hash_key = String.sub (Lw_crypto.Sha256.digest "lw-pir-cuckoo-default") 0 16
 
-let create ?(hash_key = default_hash_key) ?(max_kicks = 512) ~domain_bits ~bucket_size () =
+let create ?(hash_key = default_hash_key) ?(max_kicks = 512) ?(on_change = fun _ -> ())
+    ~domain_bits ~bucket_size () =
   let base = Keymap.create ~hash_key ~domain_bits in
   {
     db = Bucket_db.create ~domain_bits ~bucket_size;
@@ -19,6 +21,7 @@ let create ?(hash_key = default_hash_key) ?(max_kicks = 512) ~domain_bits ~bucke
     h1 = Keymap.derive base ~salt:1;
     max_kicks;
     stash = Hashtbl.create 8;
+    on_change;
     count = 0;
   }
 
@@ -28,21 +31,53 @@ let stash_size t = Hashtbl.length t.stash
 
 let candidates t key = (Keymap.index_of_key t.h0 key, Keymap.index_of_key t.h1 key)
 
+(* All bucket mutations funnel through these two so [on_change] sees every
+   dirtied bucket exactly when it changes. *)
+let set_bucket t i bytes =
+  Bucket_db.set t.db i bytes;
+  t.on_change i
+
+let clear_bucket t i =
+  Bucket_db.clear t.db i;
+  t.on_change i
+
 let slot_of t key =
   let i0, i1 = candidates t key in
   let check i = Record.decode_for_key ~key (Bucket_db.get t.db i) |> Option.map (fun v -> (i, v)) in
-  match check i0 with Some r -> Some r | None -> check i1
+  match check i0 with Some r -> Some r | None -> if i1 = i0 then None else check i1
 
 let find t key =
   match slot_of t key with
   | Some (_, v) -> Some v
   | None -> Hashtbl.find_opt t.stash key
 
+let bucket_empty t i = Option.is_none (Record.decode (Bucket_db.get t.db i))
+
+(* Opportunistically re-place stashed records whose candidate bucket is
+   now empty — called after a removal frees a bucket, so the stash drains
+   back to ~0 instead of ratcheting up for the table's lifetime. *)
+let drain_stash t =
+  if Hashtbl.length t.stash > 0 then begin
+    let bucket_size = Bucket_db.bucket_size t.db in
+    let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.stash [] in
+    List.iter
+      (fun (key, value) ->
+        let i0, i1 = candidates t key in
+        let target = if bucket_empty t i0 then Some i0 else if bucket_empty t i1 then Some i1 else None in
+        match target with
+        | Some i ->
+            set_bucket t i (Record.encode ~bucket_size ~key ~value);
+            Hashtbl.remove t.stash key
+        | None -> ())
+      entries
+  end
+
 let remove t key =
   match slot_of t key with
   | Some (i, _) ->
-      Bucket_db.clear t.db i;
+      clear_bucket t i;
       t.count <- t.count - 1;
+      drain_stash t;
       true
   | None ->
       if Hashtbl.mem t.stash key then begin
@@ -60,31 +95,40 @@ let insert t ~key ~value =
   let bucket_size = Bucket_db.bucket_size t.db in
   if Record.overhead + String.length key + String.length value > bucket_size then Error `Too_large
   else begin
-    let fresh = Option.is_none (find t key) in
-    (match slot_of t key with
-    | Some (i, _) -> Bucket_db.set t.db i (Record.encode ~bucket_size ~key ~value)
+    (* One probe of the two candidate buckets yields both the occupied
+       slot (if any) and freshness — the old code paid [find] and then
+       [slot_of], hashing and decoding every key twice. *)
+    let i0, i1 = candidates t key in
+    let held i = Option.is_some (Record.decode_for_key ~key (Bucket_db.get t.db i)) in
+    let slot = if held i0 then Some i0 else if i1 <> i0 && held i1 then Some i1 else None in
+    (match slot with
+    | Some i -> set_bucket t i (Record.encode ~bucket_size ~key ~value)
     | None when Hashtbl.mem t.stash key -> Hashtbl.replace t.stash key value
     | None ->
+        t.count <- t.count + 1;
         (* displacement loop: place the pending record at [target]; a full
            slot evicts its occupant to that occupant's alternate bucket.
-           After max_kicks the pending record goes to the stash, so nothing
-           is ever dropped. *)
+           A victim whose two candidates coincide cannot move anywhere —
+           evicting it would swap the slot with itself until max_kicks —
+           so the pending record goes straight to the stash instead.
+           After max_kicks the pending record goes to the stash too, so
+           nothing is ever dropped. *)
         let rec place key value target kicks =
           if kicks > t.max_kicks then Hashtbl.replace t.stash key value
           else begin
             match Record.decode (Bucket_db.get t.db target) with
-            | None -> Bucket_db.set t.db target (Record.encode ~bucket_size ~key ~value)
+            | None -> set_bucket t target (Record.encode ~bucket_size ~key ~value)
             | Some (victim_key, victim_value) ->
-                Bucket_db.set t.db target (Record.encode ~bucket_size ~key ~value);
-                place victim_key victim_value (other_candidate t victim_key target) (kicks + 1)
+                let alt = other_candidate t victim_key target in
+                if alt = target then Hashtbl.replace t.stash key value
+                else begin
+                  set_bucket t target (Record.encode ~bucket_size ~key ~value);
+                  place victim_key victim_value alt (kicks + 1)
+                end
           end
         in
-        let i0, i1 = candidates t key in
-        let start =
-          if Option.is_none (Record.decode (Bucket_db.get t.db i0)) then i0 else i1
-        in
+        let start = if bucket_empty t i0 then i0 else i1 in
         place key value start 0);
-    if fresh then t.count <- t.count + 1;
     Ok ()
   end
 

@@ -12,8 +12,17 @@
 type t
 
 val create :
-  ?hash_key:string -> ?max_kicks:int -> domain_bits:int -> bucket_size:int -> unit -> t
-(** [max_kicks] bounds the eviction chain (default 512). *)
+  ?hash_key:string ->
+  ?max_kicks:int ->
+  ?on_change:(int -> unit) ->
+  domain_bits:int ->
+  bucket_size:int ->
+  unit ->
+  t
+(** [max_kicks] bounds the eviction chain (default 512). [on_change i]
+    fires after every mutation of bucket [i] (set or clear, including
+    displacement writes and stash re-placement) — how {!Kw_store} tracks
+    the dirty set it must copy into the next sealed epoch. *)
 
 val db : t -> Bucket_db.t
 val count : t -> int
@@ -25,6 +34,10 @@ val candidates : t -> string -> int * int
 val insert : t -> key:string -> value:string -> (unit, [ `Too_large ]) result
 val find : t -> string -> string option
 val remove : t -> string -> bool
+(** Removing a bucket-resident key also opportunistically re-places any
+    stashed record whose candidate bucket is now empty, so the stash
+    drains back toward 0 as capacity frees up instead of ratcheting. *)
+
 val load_factor : t -> float
 
 val stash_size : t -> int

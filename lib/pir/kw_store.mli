@@ -1,0 +1,52 @@
+(** Cuckoo-backed keyword store sealed per epoch: the publisher mutates a
+    live {!Cuckoo} table (two candidate buckets per key, displacement on
+    insert), and {!publish} copies the dirtied buckets into the
+    epoch-versioned engine ({!Lw_store}) as the next sealed epoch. A
+    keyword client privately probes {e both} candidate buckets of a sealed
+    snapshot, so servers never observe a half-finished eviction chain and
+    both probes are guaranteed to land on the same epoch.
+
+    Stashed records (eviction chains past [max_kicks]) live outside the
+    bucket array and are therefore {e invisible to PIR clients} until a
+    removal lets the stash drain back into a bucket; deployments size the
+    table so the stash stays at 0 (the invariant E6/E26 report). *)
+
+type t
+
+val create :
+  ?hash_key:string -> ?max_kicks:int -> domain_bits:int -> bucket_size:int -> unit -> t
+(** Empty store at epoch 0. [hash_key] seeds the SipHash keymap the
+    cuckoo's two bucket hashes derive from (salts 0 and 1) — clients
+    recompute candidates from the same key via [Keymap.derive]. *)
+
+val engine : t -> Lw_store.t
+(** The epoch engine versioned ZLTP servers serve keyword queries from. *)
+
+val table : t -> Cuckoo.t
+(** The live publisher-side table (uncommitted mutations included). *)
+
+val insert : t -> key:string -> value:string -> (unit, [ `Too_large ]) result
+val remove : t -> string -> bool
+
+val find : t -> string -> string option
+(** Direct (non-private) lookup through the live table — publishers and
+    tests; clients go through PIR against a sealed epoch. *)
+
+val candidates : t -> string -> int * int
+(** The two buckets a client must probe for a key (may coincide). *)
+
+val count : t -> int
+val stash_size : t -> int
+val load_factor : t -> float
+val bucket_size : t -> int
+
+val publish : t -> Lw_store.Snapshot.t
+(** Seal every bucket dirtied since the last publish as the next epoch
+    and return its (unpinned) snapshot; if nothing is dirty, returns the
+    current snapshot without minting an epoch. *)
+
+val snapshot : t -> Lw_store.Snapshot.t
+(** Alias of {!publish}. *)
+
+val pending_mutations : t -> int
+(** Distinct buckets dirtied since the last {!publish}. *)

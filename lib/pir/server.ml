@@ -57,6 +57,15 @@ let xor_block_into_masked t ~base ~count ~bits ~bits_pos ~dst =
   | Flat db -> Bucket_db.xor_block_into_masked db ~base ~count ~bits ~bits_pos ~dst
   | Snapshot s -> Lw_store.Snapshot.xor_block_into_masked s ~base ~count ~bits ~bits_pos ~dst
 
+let xor_block_into_masked2 t ~base ~count ~bits0 ~bits0_pos ~bits1 ~bits1_pos ~dst0 ~dst1 =
+  match t.src with
+  | Flat db ->
+      Bucket_db.xor_block_into_masked2 db ~base ~count ~bits0 ~bits0_pos ~bits1 ~bits1_pos ~dst0
+        ~dst1
+  | Snapshot s ->
+      Lw_store.Snapshot.xor_block_into_masked2 s ~base ~count ~bits0 ~bits0_pos ~bits1 ~bits1_pos
+        ~dst0 ~dst1
+
 let check_domain t k =
   if Lw_dpf.Dpf.domain_bits k <> domain_bits t then
     invalid_arg "Server: key domain does not match database"
@@ -124,6 +133,30 @@ let answer t k =
   Lw_obs.Metrics.add m_scan_bytes (total_bytes t);
   Bytes.unsafe_to_string acc
 
+(* Width-2 fusion — the keyword verb's two-probe shape and every batch of
+   exactly two queries: key 1's bits are materialised blockwise into a
+   full-domain buffer (blit, no per-leaf closure), then key 0's blocked
+   traversal drives ONE pass over the data feeding both accumulators
+   ([xor_block_into_masked2] loads each source word once). The pair costs
+   two DPF evaluations plus a single memory traversal, instead of the
+   generic packed kernel's per-bucket, per-lane dispatch. *)
+let answer_pair t k0 k1 =
+  check_domain t k0;
+  check_domain t k1;
+  let block_bits = block_bits_for t in
+  let bits1 = Bytes.create (size t) in
+  Lw_dpf.Dpf.eval_bits_blocked k1 ~block_bits (fun base buf count ->
+      Bytes.blit buf 0 bits1 base count);
+  let acc0 = Bytes.make (bucket_size t) '\x00' in
+  let acc1 = Bytes.make (bucket_size t) '\x00' in
+  Lw_dpf.Dpf.eval_bits_blocked k0 ~block_bits (fun base bits count ->
+      xor_block_into_masked2 t ~base ~count ~bits0:bits ~bits0_pos:0 ~bits1 ~bits1_pos:base
+        ~dst0:acc0 ~dst1:acc1);
+  Lw_obs.Metrics.incr m_batches;
+  Lw_obs.Metrics.add m_answers 2;
+  Lw_obs.Metrics.add m_scan_bytes (total_bytes t);
+  (Bytes.unsafe_to_string acc0, Bytes.unsafe_to_string acc1)
+
 (* Bit-packed batching: up to 8 queries' selection bits share one byte
    per bucket, and the scan streams each database block once per pack,
    feeding all of the pack's accumulators from the same resident bytes.
@@ -134,6 +167,10 @@ let answer_batch t keys =
   let n = Array.length keys in
   if n = 0 then [||]
   else if n = 1 then [| answer t keys.(0) |]
+  else if n = 2 then begin
+    let a0, a1 = answer_pair t keys.(0) keys.(1) in
+    [| a0; a1 |]
+  end
   else begin
     let size = size t in
     let bucket = bucket_size t in

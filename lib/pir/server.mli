@@ -48,10 +48,17 @@ val scan : t -> Bytes.t -> string
 val answer : t -> Lw_dpf.Dpf.key -> string
 (** One private-GET response share, via the fused single-pass kernel. *)
 
+val answer_pair : t -> Lw_dpf.Dpf.key -> Lw_dpf.Dpf.key -> string * string
+(** Both responses from ONE streamed pass over the data — the width-2
+    fused kernel the keyword verb's two cuckoo probes ride: two DPF
+    evaluations, a single memory traversal, each source word loaded once
+    and masked into both accumulators. *)
+
 val answer_batch : t -> Lw_dpf.Dpf.key array -> string array
 (** All responses from one streamed pass over the data, selection bits
     bit-packed 8 queries to the byte; a partial final pack (batch size
-    not a multiple of 8) runs the same kernel on fewer lanes. *)
+    not a multiple of 8) runs the same kernel on fewer lanes. A batch of
+    exactly two rides {!answer_pair}. *)
 
 (** {2 Domain-partitioned parallel scan}
 

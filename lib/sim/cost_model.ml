@@ -88,6 +88,44 @@ let estimate ?(policy = Storage_driven) ?(bucket_bytes = 4096) ?(batch = 16) ds 
     latency_floor_s = float_of_int batch *. shard.request_seconds;
   }
 
+type keyword_estimate = {
+  base : estimate; (* the single-probe index GET at the same point *)
+  kw_vcpu_seconds : float;
+  kw_request_cost_usd : float;
+  kw_upload_kib : float;
+  kw_download_kib : float;
+  kw_total_comm_kib : float;
+  compute_overhead : float; (* kw vCPU-s / base vCPU-s *)
+}
+
+let keyword_estimate ?policy ?bucket_bytes ?batch ds shard inst =
+  let base = estimate ?policy ?bucket_bytes ?batch ds shard inst in
+  (* A keyword GET is two DPF probes riding ONE batched scan pass
+     (Server.answer_batch packs both as a width-2 entry): per shard it
+     costs 2×dpf_seconds of key evaluation but only 1×scan_seconds of
+     memory traffic, versus dpf + scan for the plain index GET. *)
+  let kw_request_seconds = (2. *. shard.dpf_seconds) +. shard.scan_seconds in
+  let instance_seconds = float_of_int base.shards *. kw_request_seconds in
+  let kw_vcpu_seconds = instance_seconds *. float_of_int inst.vcpus *. float_of_int servers in
+  let kw_request_cost_usd =
+    instance_seconds /. 3600. *. inst.price_per_hour *. float_of_int servers
+  in
+  (* Communication doubles exactly: two keys up, two bucket shares down,
+     per logical server — the shape is fixed even when the cuckoo
+     candidates coincide, so the factor is query-independent. *)
+  let kw_upload_kib = 2. *. base.upload_kib in
+  let kw_download_kib = 2. *. base.download_kib in
+  {
+    base;
+    kw_vcpu_seconds;
+    kw_request_cost_usd;
+    kw_upload_kib;
+    kw_download_kib;
+    kw_total_comm_kib = kw_upload_kib +. kw_download_kib;
+    compute_overhead =
+      (if base.vcpu_seconds > 0. then kw_vcpu_seconds /. base.vcpu_seconds else 0.);
+  }
+
 type update_estimate = {
   churn : float;
   dirty_buckets : float;
@@ -140,6 +178,12 @@ let fi_cost ~bytes = bytes /. gib *. google_fi_usd_per_gib
 let nytimes_homepage_bytes = 22.4 *. 1024. *. 1024.
 
 let projected_cost ~years c = c /. Float.pow 16. (years /. 5.)
+
+let pp_keyword fmt k =
+  Format.fprintf fmt
+    "%-10s keyword: vCPU-s=%-7.1f cost=$%.4f up=%.1fKiB down=%.1fKiB comm=%.1fKiB compute-overhead=%.2fx"
+    k.base.dataset k.kw_vcpu_seconds k.kw_request_cost_usd k.kw_upload_kib k.kw_download_kib
+    k.kw_total_comm_kib k.compute_overhead
 
 let pp_estimate fmt e =
   Format.fprintf fmt

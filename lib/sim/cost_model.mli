@@ -65,6 +65,36 @@ val estimate :
     is the paper's: upload = 2 keys of [(λ+2)·d_total] bytes with λ = 128
     and [d_total = domain_bits + ⌈log2 shards⌉]; download = 2 buckets. *)
 
+(** {2 The keyword column} *)
+
+type keyword_estimate = {
+  base : estimate; (** the single-probe index GET at the same point *)
+  kw_vcpu_seconds : float;
+  kw_request_cost_usd : float;
+  kw_upload_kib : float; (** exactly 2× base: two DPF keys per server *)
+  kw_download_kib : float; (** exactly 2× base: two bucket shares *)
+  kw_total_comm_kib : float;
+  compute_overhead : float;
+      (** kw vCPU-s / base vCPU-s = (2·dpf + scan)/(dpf + scan) — strictly
+          below 2 because the width-2 probe shares one batched scan pass *)
+}
+
+val keyword_estimate :
+  ?policy:policy ->
+  ?bucket_bytes:int ->
+  ?batch:int ->
+  dataset ->
+  shard ->
+  instance ->
+  keyword_estimate
+(** Cost of a wire-v4 keyword GET at the same operating point as
+    {!estimate}: both cuckoo candidate buckets are probed as one width-2
+    entry in a single batched scan, so compute pays 2× DPF evaluation but
+    only 1× memory scan, while communication doubles exactly (the
+    two-probe shape is fixed and query-independent). *)
+
+val pp_keyword : Format.formatter -> keyword_estimate -> unit
+
 (** {2 Update bandwidth (epoch-versioned storage)} *)
 
 type update_estimate = {

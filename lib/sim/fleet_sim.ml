@@ -26,6 +26,7 @@ type params = {
   scan_domains : int; (* per-shard Server.answer_domains knob *)
   tree_fanout_bits : int option; (* fan-out tree for single-key answers *)
   key_pool : int; (* distinct pre-generated queries, cycled *)
+  burst_k : int; (* 1 = independent visits; >1 = correlated search bursts *)
   straggler_sigma : float; (* Latency_model tail dispersion *)
   seed : string;
 }
@@ -44,6 +45,7 @@ let default =
     scan_domains = 1;
     tree_fanout_bits = Some 2;
     key_pool = 96;
+    burst_k = 1;
     straggler_sigma = 0.25;
     seed = "fleet-sim";
   }
@@ -114,7 +116,10 @@ let time clock f =
   (r, Lw_obs.Clock.now clock -. t0)
 
 (* The Zipf page mix: Workload's two-level (site, page) popularity model
-   flattened onto the global bucket domain. *)
+   flattened onto the global bucket domain. With burst_k > 1 each visit
+   becomes a correlated search burst (one site, burst_k possibly-repeated
+   pages) laid out contiguously in the pool, so consecutive batch slots
+   carry the non-independent index mix a cluster retrieval produces. *)
 let pool_indices p rng =
   let domain = 1 lsl p.domain_bits in
   let sites = min 16 domain in
@@ -123,14 +128,20 @@ let pool_indices p rng =
     {
       Workload.sites;
       pages_per_site;
-      visits = p.key_pool;
+      visits = (if p.burst_k <= 1 then p.key_pool else max 1 (p.key_pool / p.burst_k));
       mean_dwell_s = 1.0;
       site_exponent = 1.0;
       page_exponent = p.page_exponent;
     }
   in
-  Workload.generate wl rng
-  |> List.map (fun v -> ((v.Workload.site * pages_per_site) + v.Workload.page) mod domain)
+  let flatten site page = ((site * pages_per_site) + page) mod domain in
+  (if p.burst_k <= 1 then
+     Workload.generate wl rng
+     |> List.map (fun v -> flatten v.Workload.site v.Workload.page)
+   else
+     Workload.search_bursts ~burst_k:p.burst_k wl rng
+     |> List.concat_map (fun b ->
+            List.map (flatten b.Workload.burst_site) b.Workload.burst_pages))
   |> Array.of_list
 
 (* One operating point: Poisson arrivals at [lambda], Queue_sim's

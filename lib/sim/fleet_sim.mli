@@ -29,6 +29,11 @@ type params = {
   scan_domains : int;  (** per-shard {!Lw_pir.Server.answer_domains} knob *)
   tree_fanout_bits : int option;  (** fan-out tree for the single-key probe *)
   key_pool : int;  (** distinct pre-generated queries, cycled *)
+  burst_k : int;
+      (** [1]: independent Zipf visits (the historical mix). [> 1]: the
+          pool is built from {!Workload.search_bursts} — runs of [burst_k]
+          correlated, possibly-repeated indices per visited site, the
+          traffic shape of a cluster retrieval served as keyword GETs *)
   straggler_sigma : float;  (** {!Latency_model} tail dispersion *)
   seed : string;
 }

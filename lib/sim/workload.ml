@@ -32,6 +32,26 @@ let generate p rng =
       time := !time +. dwell;
       { time_s = !time; site = Zipf.sample site_dist rng; page = Zipf.sample page_dist rng })
 
+type burst = { burst_time_s : float; burst_site : int; burst_pages : int list }
+
+let search_bursts ~burst_k p rng =
+  if burst_k < 1 then invalid_arg "Workload.search_bursts: burst_k must be >= 1";
+  let visits = generate p rng in
+  (* One burst per visit: the visited site is the "query", and the k
+     member fetches are fresh draws from the same site's page Zipf —
+     correlated (one hot site) and possibly duplicated (two draws may
+     hit the same page), which is exactly the non-independent index mix
+     a cluster retrieval puts into a single batch. *)
+  let page_dist = Zipf.create ~exponent:p.page_exponent ~n:p.pages_per_site () in
+  List.map
+    (fun v ->
+      {
+        burst_time_s = v.time_s;
+        burst_site = v.site;
+        burst_pages = v.page :: List.init (burst_k - 1) (fun _ -> Zipf.sample page_dist rng);
+      })
+    visits
+
 let gets_per_day (u : Cost_model.user_profile) =
   u.Cost_model.pages_per_day *. float_of_int u.Cost_model.gets_per_page
 

@@ -24,6 +24,20 @@ val generate : params -> Lw_util.Det_rng.t -> visit list
 (** Deterministic given the RNG; inter-arrival times are exponential with
     the given mean. *)
 
+type burst = {
+  burst_time_s : float;
+  burst_site : int; (** the site whose cluster the "search" hit *)
+  burst_pages : int list; (** [burst_k] page ranks, duplicates allowed *)
+}
+(** A correlated search burst: one cluster retrieval served as [burst_k]
+    keyword fetches against a single site (see {!Retrieval}). *)
+
+val search_bursts : burst_k:int -> params -> Lw_util.Det_rng.t -> burst list
+(** One burst per visit of {!generate}: the visit's page plus
+    [burst_k - 1] further draws from the same page Zipf. The resulting
+    per-burst indices are correlated (one site) and may repeat —
+    deliberately non-independent batch traffic. *)
+
 val gets_per_day : Cost_model.user_profile -> float
 val gets_per_month : Cost_model.user_profile -> float
 

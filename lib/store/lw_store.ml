@@ -226,6 +226,26 @@ module Snapshot = struct
       off := !off + run
     done
 
+  let xor_block_into_masked2 s ~base ~count ~bits0 ~bits0_pos ~bits1 ~bits1_pos ~dst0 ~dst1 =
+    if count < 0 || base < 0 || base > size s - count then
+      invalid_arg "Lw_store.Snapshot: block out of range";
+    if s.store.trace.on then
+      for j = 0 to count - 1 do
+        s.store.trace.rev <- (base + j) :: s.store.trace.rev
+      done;
+    let bb = 1 lsl s.store.block_bits in
+    let bsz = s.store.bucket_size in
+    let off = ref 0 in
+    while !off < count do
+      let i = base + !off in
+      let b = i lsr s.store.block_bits and local = i land (bb - 1) in
+      let run = min (count - !off) (bb - local) in
+      Lw_util.Xorbuf.xor_buckets_masked2 ~bits0 ~bits0_pos:(bits0_pos + !off) ~bits1
+        ~bits1_pos:(bits1_pos + !off) ~count:run ~src:s.blocks.(b) ~src_pos:(local * bsz)
+        ~bucket:bsz ~dst0 ~dst1;
+      off := !off + run
+    done
+
   let set_tracing s on = set_tracing s.store on
   let access_trace s = access_trace s.store
 

@@ -146,6 +146,21 @@ module Snapshot : sig
   (** Fused-scan block entry; the run may span CoW block boundaries and
       is split internally. *)
 
+  val xor_block_into_masked2 :
+    t ->
+    base:int ->
+    count:int ->
+    bits0:Bytes.t ->
+    bits0_pos:int ->
+    bits1:Bytes.t ->
+    bits1_pos:int ->
+    dst0:Bytes.t ->
+    dst1:Bytes.t ->
+    unit
+  (** Width-2 fused block entry (the two-probe keyword scan): one pass
+      over the run feeds both accumulators; spans CoW blocks like
+      {!xor_block_into_masked}. Each bucket is traced once. *)
+
   val set_tracing : t -> bool -> unit
   val access_trace : t -> int list
 

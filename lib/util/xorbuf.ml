@@ -100,6 +100,63 @@ let xor_buckets_masked ~bits ~bits_pos ~count ~src ~src_pos ~bucket ~dst =
     done
   done
 
+(* Width-2 fused-scan block kernel: the two-probe keyword shape. One
+   streamed pass over [count] records feeds BOTH accumulators — each
+   source word is loaded once and masked-XORed into [dst0] and [dst1],
+   so the pair pays one memory traversal plus a second register-masked
+   accumulation instead of two scans (or the per-lane indexing of the
+   generic packed kernel). Both lanes do identical memory work whatever
+   their bits. *)
+let xor_buckets_masked2 ~bits0 ~bits0_pos ~bits1 ~bits1_pos ~count ~src ~src_pos ~bucket ~dst0
+    ~dst1 =
+  if bucket <= 0 || count < 0 then invalid_arg "Xorbuf.xor_buckets_masked2: bad geometry";
+  check_bounds "xor_buckets_masked2(bits0)" bits0_pos count (Bytes.length bits0);
+  check_bounds "xor_buckets_masked2(bits1)" bits1_pos count (Bytes.length bits1);
+  check_bounds "xor_buckets_masked2(src)" src_pos (count * bucket) (Bytes.length src);
+  check_bounds "xor_buckets_masked2(dst0)" 0 bucket (Bytes.length dst0);
+  check_bounds "xor_buckets_masked2(dst1)" 0 bucket (Bytes.length dst1);
+  let words = bucket / 8 in
+  let words4 = words land lnot 3 in
+  let tail = 8 * words in
+  for j = 0 to count - 1 do
+    let b0 = Char.code (Bytes.unsafe_get bits0 (bits0_pos + j)) land 1 in
+    let b1 = Char.code (Bytes.unsafe_get bits1 (bits1_pos + j)) land 1 in
+    let ma = Int64.neg (Int64.of_int b0) and mb = Int64.neg (Int64.of_int b1) in
+    let m0 = (0 - b0) land 0xff and m1 = (0 - b1) land 0xff in
+    let base = src_pos + (j * bucket) in
+    (* 4-way unrolled: four source loads feed eight masked accumulations
+       per iteration without spilling the two masks *)
+    let o = ref 0 in
+    while !o < 8 * words4 do
+      let o0 = !o in
+      let s0 = unsafe_get64 src (base + o0) in
+      let s1 = unsafe_get64 src (base + o0 + 8) in
+      let s2 = unsafe_get64 src (base + o0 + 16) in
+      let s3 = unsafe_get64 src (base + o0 + 24) in
+      unsafe_set64 dst0 o0 (Int64.logxor (Int64.logand s0 ma) (unsafe_get64 dst0 o0));
+      unsafe_set64 dst0 (o0 + 8) (Int64.logxor (Int64.logand s1 ma) (unsafe_get64 dst0 (o0 + 8)));
+      unsafe_set64 dst0 (o0 + 16) (Int64.logxor (Int64.logand s2 ma) (unsafe_get64 dst0 (o0 + 16)));
+      unsafe_set64 dst0 (o0 + 24) (Int64.logxor (Int64.logand s3 ma) (unsafe_get64 dst0 (o0 + 24)));
+      unsafe_set64 dst1 o0 (Int64.logxor (Int64.logand s0 mb) (unsafe_get64 dst1 o0));
+      unsafe_set64 dst1 (o0 + 8) (Int64.logxor (Int64.logand s1 mb) (unsafe_get64 dst1 (o0 + 8)));
+      unsafe_set64 dst1 (o0 + 16) (Int64.logxor (Int64.logand s2 mb) (unsafe_get64 dst1 (o0 + 16)));
+      unsafe_set64 dst1 (o0 + 24) (Int64.logxor (Int64.logand s3 mb) (unsafe_get64 dst1 (o0 + 24)));
+      o := o0 + 32
+    done;
+    for w = words4 to words - 1 do
+      let s = unsafe_get64 src (base + (8 * w)) in
+      unsafe_set64 dst0 (8 * w) (Int64.logxor (Int64.logand s ma) (unsafe_get64 dst0 (8 * w)));
+      unsafe_set64 dst1 (8 * w) (Int64.logxor (Int64.logand s mb) (unsafe_get64 dst1 (8 * w)))
+    done;
+    for i = tail to bucket - 1 do
+      let s = Char.code (Bytes.unsafe_get src (base + i)) in
+      let d0 = Char.code (Bytes.unsafe_get dst0 i) in
+      Bytes.unsafe_set dst0 i (Char.unsafe_chr ((s land m0) lxor d0));
+      let d1 = Char.code (Bytes.unsafe_get dst1 i) in
+      Bytes.unsafe_set dst1 i (Char.unsafe_chr ((s land m1) lxor d1))
+    done
+  done
+
 (* Bit-packed batch kernel: one streamed pass over the source feeds up to
    8 accumulators. [pack] carries lane q's selection bit at bit q; each
    source word is loaded once and XORed into every lane under that lane's

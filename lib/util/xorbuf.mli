@@ -36,6 +36,24 @@ val xor_buckets_masked :
     bounds gate covers the whole block; every record performs the identical
     read-modify-write of [dst] whether its bit is set or not. *)
 
+val xor_buckets_masked2 :
+  bits0:Bytes.t ->
+  bits0_pos:int ->
+  bits1:Bytes.t ->
+  bits1_pos:int ->
+  count:int ->
+  src:Bytes.t ->
+  src_pos:int ->
+  bucket:int ->
+  dst0:Bytes.t ->
+  dst1:Bytes.t ->
+  unit
+(** Width-2 variant of {!xor_buckets_masked} — the two-probe keyword
+    shape: one streamed pass over the block feeds both accumulators,
+    record [j] masked into [dst0] by [bits0.[bits0_pos + j]] and into
+    [dst1] by [bits1.[bits1_pos + j]]. Each source word is loaded once;
+    both lanes perform identical memory work whatever their bits. *)
+
 val xor_into_packed :
   pack:int -> src:Bytes.t -> src_pos:int -> dsts:Bytes.t array -> dst_pos:int -> len:int -> unit
 (** [xor_into_packed ~pack ~src ~src_pos ~dsts ~dst_pos ~len] is the
