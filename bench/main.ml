@@ -280,6 +280,22 @@ let print_table2 label shard =
         e.Cost_model.total_comm_kib)
     [ (Corpus.c4, Cost_model.Storage_driven); (Corpus.wikipedia, Cost_model.Domain_driven) ]
 
+(* The same Table-2 point priced under every deployment model the modes
+   negotiate: the C1-C4 columns (compute, dollars, communication, latency
+   floor) per Zltp_mode, so the paper's trade-off argument is one table. *)
+let print_three_way label shard =
+  let open Lw_sim in
+  Printf.printf "\n[three-way deployment comparison: %s]\n" label;
+  List.iter
+    (fun (profile, policy) ->
+      let ds = Cost_model.of_profile profile in
+      Printf.printf "%s:\n" ds.Cost_model.name;
+      List.iter
+        (fun mc -> Format.printf "  %a\n" Cost_model.pp_mode_cost mc)
+        (Cost_model.three_way ~policy ds shard Cost_model.c5_large);
+      Format.print_flush ())
+    [ (Corpus.c4, Cost_model.Storage_driven); (Corpus.wikipedia, Cost_model.Domain_driven) ]
+
 let e4_table2 () =
   section "E4" "Table 2: estimated costs of running ZLTP on C4 and Wikipedia";
   Printf.printf
@@ -293,7 +309,14 @@ let e4_table2 () =
   Printf.printf
     "\nnote: the Wikipedia row matches the paper only under domain-driven sharding\n\
      (⌈60M/2^22⌉ = 15 shards -> 10.0 vCPU-s); storage-driven gives 21 shards / 14 vCPU-s.\n\
-     The C4 row is storage-driven (305 shards). See EXPERIMENTS.md.\n"
+     The C4 row is storage-driven (305 shards). See EXPERIMENTS.md.\n";
+  print_three_way "paper's measured shard" Lw_sim.Cost_model.paper_shard;
+  Printf.printf
+    "\nsingle re-shards at the LWE noise cap (2^%d pages/shard) and every shard answers\n\
+     every query, so its C3 column is selection-vector-dominated; the per-epoch hint is\n\
+     amortized across all clients and reported beside C3, not in it. enclave pays an\n\
+     ORAM path on one trusted machine. E27 measures the Single column end to end.\n"
+    Lw_pir.Spir.max_domain_bits
 
 (* ------------------------------------------------------------------ *)
 (* E5: §4 who pays                                                     *)
@@ -993,7 +1016,7 @@ let e20_chaos_tail_latency ?(write_json = true) () =
           let fe = Lightweb.Zltp_frontend.of_db db ~shard_bits in
           let srv =
             Lightweb.Zltp_server.create ~blob_size:bucket_size
-              (Lightweb.Zltp_server.Pir_sharded fe)
+              (Lightweb.Zltp_backend.sharded fe)
           in
           let sched =
             if rate = 0.0 then Lw_net.Faulty.none
@@ -1644,6 +1667,16 @@ let e24_fleet ?(write_json = true) ?(smoke = false) () =
           p.Fleet_sim.straggler_sigma
           (1000. *. tm.Latency_model.p50_s)
           (1000. *. tm.Latency_model.p99_s);
+        row
+          "  SPIR probe: hint %.2f ms/epoch, answer %.2f ms -> mul-acc/XOR ratio %.1fx;\n\
+          \    three-way at this geometry (Single seeded from the measured ratio):\n"
+          (1000. *. r.Fleet_sim.spir_hint_s)
+          (1000. *. r.Fleet_sim.spir_answer_s)
+          r.Fleet_sim.spir_scan_ratio;
+        List.iter
+          (fun mc -> Format.printf "    %a\n" Lw_sim.Cost_model.pp_mode_cost mc)
+          r.Fleet_sim.three_way;
+        Format.print_flush ();
         (label, p, r))
       fleets
   in
@@ -1735,6 +1768,30 @@ let e24_fleet ?(write_json = true) ?(smoke = false) () =
                 ("measured_capacity_rps", Number m.Fleet_sim.measured_capacity_rps);
                 ("floor_ratio", Number m.Fleet_sim.floor_ratio);
               ] );
+          ( "spir_probe",
+            Obj
+              [
+                ("hint_ms", Number (1000. *. r.Fleet_sim.spir_hint_s));
+                ("answer_ms", Number (1000. *. r.Fleet_sim.spir_answer_s));
+                ("scan_ratio", Number r.Fleet_sim.spir_scan_ratio);
+              ] );
+          ( "three_way",
+            List
+              (List.map
+                 (fun mc ->
+                   Obj
+                     [
+                       ("mode", String (Lightweb.Zltp_mode.name mc.Lw_sim.Cost_model.mode));
+                       ("servers", Number (float_of_int mc.Lw_sim.Cost_model.mc_servers));
+                       ("shards", Number (float_of_int mc.Lw_sim.Cost_model.mc_shards));
+                       ("vcpu_seconds", Number mc.Lw_sim.Cost_model.mc_vcpu_seconds);
+                       ("request_cost_usd", Number mc.Lw_sim.Cost_model.mc_request_cost_usd);
+                       ("upload_kib", Number mc.Lw_sim.Cost_model.mc_upload_kib);
+                       ("download_kib", Number mc.Lw_sim.Cost_model.mc_download_kib);
+                       ("latency_floor_s", Number mc.Lw_sim.Cost_model.mc_latency_floor_s);
+                       ("hint_mib_per_epoch", Number mc.Lw_sim.Cost_model.mc_hint_mib_per_epoch);
+                     ])
+                 r.Fleet_sim.three_way) );
         ]
     in
     let j =
@@ -2163,6 +2220,221 @@ let e26_keyword ?(write_json = true) ?(smoke = false) () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E27: single-server PIR (Single mode) vs two-server Pir2              *)
+(* ------------------------------------------------------------------ *)
+
+let e27_single ?(write_json = true) ?(smoke = false) () =
+  section "E27" "Single mode (LWE single-server PIR) vs Pir2: latency, hint, wire bytes";
+  let sites, n_pages, ops = if smoke then (4, 48, 24) else if fast then (8, 160, 96) else (12, 320, 192) in
+  (* A Single answer is one multiply-accumulate pass over the whole
+     store, and the per-epoch hint costs n passes — size the geometry so
+     the full run measures a scan-dominated point without minutes of
+     hint computation (smoke: 256 KiB database, full: 4 MiB). *)
+  let geometry =
+    {
+      Lightweb.Universe.default_geometry with
+      Lightweb.Universe.data_blob_size = (if smoke then 1024 else 4096);
+      data_domain_bits = (if smoke then 8 else 10);
+    }
+  in
+  let profile =
+    {
+      Lw_sim.Corpus.name = "e27-synthetic";
+      total_bytes = float_of_int n_pages *. 160.;
+      pages = float_of_int n_pages;
+      avg_page_bytes = 160.;
+    }
+  in
+  let corpus = Lw_sim.Corpus.generate ~sites ~sigma:0.4 profile ~n_pages (det "e27-corpus") in
+  let u = Lightweb.Universe.create ~name:"e27" geometry in
+  Array.iter
+    (fun site ->
+      match Lightweb.Universe.claim_domain u ~publisher:"bench" ~domain:site with
+      | Ok () -> ()
+      | Error e -> failwith (Printf.sprintf "E27 claim %s: %s" site e))
+    corpus.Lw_sim.Corpus.sites;
+  let published = ref [] and skipped = ref 0 in
+  Array.iter
+    (fun (pg : Lw_sim.Corpus.page) ->
+      match
+        Lightweb.Universe.push_data u ~publisher:"bench" ~path:pg.Lw_sim.Corpus.path
+          ~value:(Json.String pg.Lw_sim.Corpus.body)
+      with
+      | Ok () -> published := pg.Lw_sim.Corpus.path :: !published
+      | Error _ -> incr skipped)
+    corpus.Lw_sim.Corpus.pages;
+  (* stand up the Single server BEFORE publish so the hint is warmed
+     (sealed alongside the epoch) rather than computed on first query *)
+  let single_srv = Lightweb.Universe.single_data_server u in
+  ignore (Lightweb.Universe.publish_updates u);
+  let paths = Array.of_list (List.rev !published) in
+  if Array.length paths = 0 then failwith "E27: nothing published";
+  let hint_formula_bytes =
+    Lw_pir.Spir.hint_bytes Lw_pir.Spir.default_params
+      ~bucket_size:geometry.Lightweb.Universe.data_blob_size
+  in
+  Printf.printf "(%d pages published, %d skipped; d=%d, %d B buckets; hint %d B = n=%d rows)\n\n"
+    (Array.length paths) !skipped geometry.Lightweb.Universe.data_domain_bits
+    geometry.Lightweb.Universe.data_blob_size hint_formula_bytes
+    Lw_pir.Spir.default_params.Lw_pir.Spir.n;
+  let d0, d1 = Lightweb.Universe.data_servers u in
+  let pe0, pc0 = Lw_net.Endpoint.with_counters (Lightweb.Zltp_server.endpoint d0) in
+  let pe1, pc1 = Lw_net.Endpoint.with_counters (Lightweb.Zltp_server.endpoint d1) in
+  let se, sc = Lw_net.Endpoint.with_counters (Lightweb.Zltp_server.endpoint single_srv) in
+  let pir2_client =
+    match Lightweb.Zltp_client.connect ~rng:(rng ()) [ pe0; pe1 ] with
+    | Ok c -> c
+    | Error e -> failwith (Printf.sprintf "E27 pir2 connect: %s" e)
+  in
+  let single_client =
+    match
+      Lightweb.Zltp_client.connect ~prefer:[ Lightweb.Zltp_mode.Single ] ~rng:(rng ()) [ se ]
+    with
+    | Ok c -> c
+    | Error e -> failwith (Printf.sprintf "E27 single connect: %s" e)
+  in
+  Fun.protect ~finally:(fun () ->
+      Lightweb.Zltp_client.close pir2_client;
+      Lightweb.Zltp_client.close single_client)
+  @@ fun () ->
+  if Lightweb.Zltp_client.mode single_client <> Lightweb.Zltp_mode.Single then
+    failwith "E27: client did not negotiate Single";
+  (* oracle: every published path byte-identical under both deployments *)
+  Array.iter
+    (fun path ->
+      let via label r =
+        match r with
+        | Ok (Some v) -> v
+        | Ok None -> failwith (Printf.sprintf "E27 %s GET lost %s" label path)
+        | Error e -> failwith (Printf.sprintf "E27 %s GET %s: %s" label path e)
+      in
+      let two = via "pir2" (Lightweb.Zltp_client.get pir2_client path) in
+      let one = via "single" (Lightweb.Zltp_client.get single_client path) in
+      if not (String.equal two one) then
+        failwith (Printf.sprintf "E27: Single diverged from Pir2 at %s" path))
+    paths;
+  row "%-24s all %d published paths byte-identical across deployments\n" "oracle"
+    (Array.length paths);
+  (* per-query wire bytes, measured: the oracle pass above already paid
+     the handshake and the per-epoch hint fetch, so one more GET is the
+     steady-state query shape *)
+  let wire_delta up_c down_c f =
+    let base_up = List.fold_left (fun a c -> a + c.Lw_net.Endpoint.sent_bytes) 0 up_c in
+    let base_down = List.fold_left (fun a c -> a + c.Lw_net.Endpoint.recv_bytes) 0 down_c in
+    f ();
+    ( List.fold_left (fun a c -> a + c.Lw_net.Endpoint.sent_bytes) 0 up_c - base_up,
+      List.fold_left (fun a c -> a + c.Lw_net.Endpoint.recv_bytes) 0 down_c - base_down )
+  in
+  let probe = paths.(Array.length paths / 2) in
+  let pir2_up, pir2_down =
+    wire_delta [ pc0; pc1 ] [ pc0; pc1 ] (fun () ->
+        ignore (Lightweb.Zltp_client.get pir2_client probe))
+  in
+  let single_up, single_down =
+    wire_delta [ sc ] [ sc ] (fun () -> ignore (Lightweb.Zltp_client.get single_client probe))
+  in
+  row "%-24s %8d B up %8d B down   (2 servers, 2 DPF keys)\n" "pir2 per-query wire" pir2_up
+    pir2_down;
+  row "%-24s %8d B up %8d B down   (1 server, selection vector; hint %d B/epoch amortized)\n"
+    "single per-query wire" single_up single_down hint_formula_bytes;
+  (* latency: interleaved so drift hits both distributions equally *)
+  let pir2_lat = Array.make ops 0.0 in
+  let single_lat = Array.make ops 0.0 in
+  let timed c path =
+    let t0 = Unix.gettimeofday () in
+    (match Lightweb.Zltp_client.get c path with
+    | Ok (Some _) -> ()
+    | Ok None -> failwith (Printf.sprintf "E27: missing record for %s" path)
+    | Error e -> failwith (Printf.sprintf "E27: %s" e));
+    (Unix.gettimeofday () -. t0) *. 1000.
+  in
+  Gc.major ();
+  for i = 0 to ops - 1 do
+    let path = paths.(((i * 7) + 3) mod Array.length paths) in
+    if i land 1 = 0 then begin
+      pir2_lat.(i) <- timed pir2_client path;
+      single_lat.(i) <- timed single_client path
+    end
+    else begin
+      single_lat.(i) <- timed single_client path;
+      pir2_lat.(i) <- timed pir2_client path
+    end
+  done;
+  let p a q = Lw_util.Stats.percentile a q in
+  let p50_ratio = p single_lat 50. /. Float.max (p pir2_lat 50.) 1e-9 in
+  row "%-24s %8.3f ms p50 %8.3f ms p99\n" "pir2 GET" (p pir2_lat 50.) (p pir2_lat 99.);
+  row "%-24s %8.3f ms p50 %8.3f ms p99   (p50 ratio %.2fx)\n" "single GET" (p single_lat 50.)
+    (p single_lat 99.) p50_ratio;
+  (* the three-way C1-C4 columns at the paper's Table-2 point *)
+  let three_way =
+    Lw_sim.Cost_model.three_way
+      (Lw_sim.Cost_model.of_profile Lw_sim.Corpus.c4)
+      Lw_sim.Cost_model.paper_shard Lw_sim.Cost_model.c5_large
+  in
+  List.iter (fun mc -> Format.printf "%a\n" Lw_sim.Cost_model.pp_mode_cost mc) three_way;
+  Format.print_flush ();
+  Printf.printf
+    "\none cryptographic assumption (decision-LWE), one server, no client state beyond a\n\
+     public per-epoch hint — paid for in upload bytes and a mul-acc (not XOR) scan.\n";
+  if write_json then begin
+    let open Json in
+    let mode_row mc =
+      Obj
+        [
+          ("mode", String (Lightweb.Zltp_mode.name mc.Lw_sim.Cost_model.mode));
+          ("servers", Number (float_of_int mc.Lw_sim.Cost_model.mc_servers));
+          ("shards", Number (float_of_int mc.Lw_sim.Cost_model.mc_shards));
+          ("vcpu_seconds", Number mc.Lw_sim.Cost_model.mc_vcpu_seconds);
+          ("request_cost_usd", Number mc.Lw_sim.Cost_model.mc_request_cost_usd);
+          ("upload_kib", Number mc.Lw_sim.Cost_model.mc_upload_kib);
+          ("download_kib", Number mc.Lw_sim.Cost_model.mc_download_kib);
+          ("latency_floor_s", Number mc.Lw_sim.Cost_model.mc_latency_floor_s);
+          ("hint_mib_per_epoch", Number mc.Lw_sim.Cost_model.mc_hint_mib_per_epoch);
+        ]
+    in
+    let j =
+      Obj
+        [
+          ("experiment", String "E27");
+          ("machine", machine_meta ());
+          ("pages_published", Number (float_of_int (Array.length paths)));
+          ("ops", Number (float_of_int ops));
+          ( "geometry",
+            Obj
+              [
+                ( "domain_bits",
+                  Number (float_of_int geometry.Lightweb.Universe.data_domain_bits) );
+                ("bucket_bytes", Number (float_of_int geometry.Lightweb.Universe.data_blob_size));
+              ] );
+          ("hint_bytes_per_epoch", Number (float_of_int hint_formula_bytes));
+          ( "pir2_get",
+            Obj
+              [
+                ("p50_ms", Number (p pir2_lat 50.));
+                ("p99_ms", Number (p pir2_lat 99.));
+                ("query_up_bytes", Number (float_of_int pir2_up));
+                ("query_down_bytes", Number (float_of_int pir2_down));
+              ] );
+          ( "single_get",
+            Obj
+              [
+                ("p50_ms", Number (p single_lat 50.));
+                ("p99_ms", Number (p single_lat 99.));
+                ("query_up_bytes", Number (float_of_int single_up));
+                ("query_down_bytes", Number (float_of_int single_down));
+                ("p50_ratio_vs_pir2", Number p50_ratio);
+              ] );
+          ("three_way_c4", List (List.map mode_row three_way));
+        ]
+    in
+    let oc = open_out "BENCH_single.json" in
+    output_string oc (to_string ~pretty:true j);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote BENCH_single.json\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 
 (* `--metrics` (combinable with any mode) ends the run with a Prometheus
    text dump of the whole lw_obs registry — after `--chaos` it shows the
@@ -2217,6 +2489,14 @@ let keyword_only = Array.exists (fun a -> a = "--keyword") Sys.argv
    gate) runs E26 tiny — the keyword-GET oracle, both latency columns and
    one cluster-retrieval burst mix — without writing JSON *)
 let keyword_smoke = Array.exists (fun a -> a = "--keyword-smoke") Sys.argv
+
+(* `--single` runs only E27 and writes BENCH_single.json *)
+let single_only = Array.exists (fun a -> a = "--single") Sys.argv
+
+(* `--single-smoke` (the @single-smoke alias, part of the @bench-smoke
+   gate) runs E27 tiny — the Single/Pir2 deployment oracle, both latency
+   columns and the per-query wire shapes — without writing JSON *)
+let single_smoke = Array.exists (fun a -> a = "--single-smoke") Sys.argv
 
 let () =
   if smoke then begin
@@ -2274,6 +2554,16 @@ let () =
     e26_keyword ~write_json:false ~smoke:true ();
     dump_metrics_if_asked ()
   end
+  else if single_only then begin
+    Printf.printf "lightweb benchmark harness (--single: E27 only)\n";
+    e27_single ();
+    dump_metrics_if_asked ()
+  end
+  else if single_smoke then begin
+    Printf.printf "lightweb benchmark harness (--single-smoke: E27, tiny geometry)\n";
+    e27_single ~write_json:false ~smoke:true ();
+    dump_metrics_if_asked ()
+  end
   else begin
   Printf.printf "lightweb benchmark harness%s\n" (if fast then " (--fast)" else "");
   Printf.printf
@@ -2313,6 +2603,7 @@ let () =
   e24_fleet ();
   e25_cluster ();
   e26_keyword ();
+  e27_single ();
   dump_metrics_if_asked ();
   Printf.printf "\nall experiments complete.\n"
   end

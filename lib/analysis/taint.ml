@@ -72,25 +72,31 @@ let find_summary ctx d =
 
 (* Calls whose result is public geometry even when computed from secret
    carriers: lengths, domain sizes, party indices, epochs. Matching is
-   on the last segment so it covers every module's [length]. *)
+   on the last segment so it covers every module's [length].
+   [recover] (Spir.Client.recover) is the deliberate declassification
+   boundary of the single-server PIR round trip: its output is the page
+   the caller asked for, no longer the LWE secret. *)
 let declassified_calls =
   SS.of_list
     [
       "length"; "domain_bits"; "value_len"; "party"; "bucket_size"; "size";
       "epoch"; "serialized_size"; "paper_key_size"; "total_bytes";
-      "compare_lengths"; "ignore";
+      "compare_lengths"; "ignore"; "recover";
     ]
 
 (* Record fields that expose public geometry of an otherwise-secret
    value (a DPF key's domain, a query's party index). *)
 let public_fields = declassified_calls
 
-(* Built-in secret sources: DPF keys and per-bucket selection bits. *)
+(* Built-in secret sources: DPF keys, per-bucket selection bits, and the
+   single-server PIR client's per-query LWE secret (Spir.Client.query
+   returns both the secret and the masked query vector derived from it —
+   neither may reach a branch, index, loop bound or allocation size). *)
 let source_calls =
   SS.of_list
     [
       "Dpf.gen"; "Dpf.eval_bit"; "Dpf.eval_value"; "Dpf.make_subkey";
-      "Server.eval_bits";
+      "Server.eval_bits"; "Client.query";
     ]
 
 (* Higher-order DPF traversals: the callback's listed parameter

@@ -100,7 +100,7 @@ let main (spec : Spec.t) =
     Lightweb.Zltp_server.create
       ~server_id:(Printf.sprintf "shard-%d" spec.shard_id)
       ~hash_key:(Lw_store.hash_key store) ~blob_size:spec.bucket_size
-      (Lightweb.Zltp_server.Pir_versioned store)
+      (Lightweb.Zltp_backend.versioned store)
   in
   (* the advertised epoch is always an explicit override: catch-up seals
      epochs ahead of the announcement, and only Activate moves it *)

@@ -38,6 +38,13 @@ type t = {
   kw_hash_key : string;
   owners : (string, string) Hashtbl.t; (* domain -> publisher *)
   data_paths : (string, unit) Hashtbl.t;
+  (* single-server PIR: one hint cache per store, shared by every server
+     built over it, so the per-epoch hint is computed once and then
+     served to any number of clients. Publishing warms the data hint
+     (seals it "alongside the epoch") once single serving is in use. *)
+  spir_data_cache : Lw_pir.Spir.Hint_cache.t;
+  spir_code_cache : Lw_pir.Spir.Hint_cache.t;
+  mutable spir_serving : bool;
 }
 
 let derive_key seed label = String.sub (Lw_crypto.Sha256.digest (seed ^ "/" ^ label)) 0 16
@@ -65,6 +72,9 @@ let create ?(seed = "lightweb-universe") ~name geometry =
     kw_hash_key;
     owners = Hashtbl.create 64;
     data_paths = Hashtbl.create 1024;
+    spir_data_cache = Lw_pir.Spir.Hint_cache.create Lw_pir.Spir.default_params;
+    spir_code_cache = Lw_pir.Spir.Hint_cache.create Lw_pir.Spir.default_params;
+    spir_serving = false;
   }
 
 let name t = t.name
@@ -170,8 +180,17 @@ let data_value t path = Lw_pir.Store.find t.data_store path
    (code, data) epochs now current. *)
 let publish_updates t =
   ignore (Lw_pir.Kw_store.publish t.kw_store);
-  ( Lw_store.Snapshot.epoch (Lw_pir.Store.publish t.code_store),
-    Lw_store.Snapshot.epoch (Lw_pir.Store.publish t.data_store) )
+  let epochs =
+    ( Lw_store.Snapshot.epoch (Lw_pir.Store.publish t.code_store),
+      Lw_store.Snapshot.epoch (Lw_pir.Store.publish t.data_store) )
+  in
+  (* once a single-server deployment exists, every new epoch's hint is
+     sealed with it, so no client ever pays the hint computation *)
+  if t.spir_serving then begin
+    Lw_pir.Spir.Hint_cache.warm t.spir_data_cache (Lw_pir.Store.engine t.data_store);
+    Lw_pir.Spir.Hint_cache.warm t.spir_code_cache (Lw_pir.Store.engine t.code_store)
+  end;
+  epochs
 
 let keyword_epoch t = Lw_store.current_epoch (Lw_pir.Kw_store.engine t.kw_store)
 let keyword_store t = t.kw_store
@@ -183,7 +202,7 @@ let pir_server t ~which store hash_key blob_size =
   Zltp_server.create
     ~server_id:(Printf.sprintf "%s/%s" t.name which)
     ~hash_key ~blob_size
-    (Zltp_server.Pir_versioned (Lw_pir.Store.engine store))
+    (Zltp_backend.versioned (Lw_pir.Store.engine store))
 
 let code_servers t =
   ( pir_server t ~which:"code-0" t.code_store t.code_hash_key t.geometry.code_blob_size,
@@ -201,7 +220,7 @@ let keyword_servers t =
     Zltp_server.create
       ~server_id:(Printf.sprintf "%s/%s" t.name which)
       ~hash_key:t.kw_hash_key ~blob_size:t.geometry.data_blob_size
-      (Zltp_server.Pir_versioned (Lw_pir.Kw_store.engine t.kw_store))
+      (Zltp_backend.versioned (Lw_pir.Kw_store.engine t.kw_store))
   in
   (mk "keyword-0", mk "keyword-1")
 
@@ -211,7 +230,7 @@ let sharded_keyword_servers t ~shard_bits =
     Zltp_server.create
       ~server_id:(Printf.sprintf "%s/%s" t.name which)
       ~hash_key:t.kw_hash_key ~blob_size:t.geometry.data_blob_size
-      (Zltp_server.Pir_sharded
+      (Zltp_backend.sharded
          (Zltp_frontend.of_store (Lw_pir.Kw_store.engine t.kw_store) ~shard_bits))
   in
   (mk "keyword-sharded-0", mk "keyword-sharded-1")
@@ -222,7 +241,7 @@ let sharded_data_servers t ~shard_bits =
     Zltp_server.create
       ~server_id:(Printf.sprintf "%s/%s" t.name which)
       ~hash_key:t.data_hash_key ~blob_size:t.geometry.data_blob_size
-      (Zltp_server.Pir_sharded
+      (Zltp_backend.sharded
          (Zltp_frontend.of_store (Lw_pir.Store.engine t.data_store) ~shard_bits))
   in
   (mk "data-sharded-0", mk "data-sharded-1")
@@ -246,7 +265,32 @@ let enclave_data_server t =
   Zltp_server.create
     ~server_id:(t.name ^ "/enclave")
     ~hash_key:t.data_hash_key ~blob_size:t.geometry.data_blob_size
-    (Zltp_server.Enclave_backend enclave)
+    (Zltp_backend.enclave enclave)
+
+(* The third deployment model: ONE server, no non-collusion partner and
+   no enclave — privacy from LWE alone. The store is the same sealed
+   epoch engine the two-server pair scans; only the verb family differs. *)
+let single_data_server t =
+  ignore (Lw_pir.Store.publish t.data_store);
+  t.spir_serving <- true;
+  let engine = Lw_pir.Store.engine t.data_store in
+  Lw_pir.Spir.Hint_cache.warm t.spir_data_cache engine;
+  Zltp_server.create
+    ~server_id:(t.name ^ "/data-single")
+    ~hash_key:t.data_hash_key ~blob_size:t.geometry.data_blob_size
+    (Zltp_backend.single ~cache:t.spir_data_cache engine)
+
+let single_code_server t =
+  ignore (Lw_pir.Store.publish t.code_store);
+  t.spir_serving <- true;
+  let engine = Lw_pir.Store.engine t.code_store in
+  Lw_pir.Spir.Hint_cache.warm t.spir_code_cache engine;
+  Zltp_server.create
+    ~server_id:(t.name ^ "/code-single")
+    ~hash_key:t.code_hash_key ~blob_size:t.geometry.code_blob_size
+    (Zltp_backend.single ~cache:t.spir_code_cache engine)
+
+let spir_data_hint_cache t = t.spir_data_cache
 
 let stats t =
   [

@@ -114,5 +114,18 @@ val enclave_data_server : t -> Zltp_server.t
 (** Build an enclave-mode server over a copy of the data store (E8 and the
     mode-negotiation tests). *)
 
+val single_data_server : t -> Zltp_server.t
+(** The third deployment model: ONE single-server-PIR data server over
+    the same sealed epoch engine the two-server pair scans. Marks the
+    universe as single-serving, so every subsequent {!publish_updates}
+    warms (seals) the new epoch's SPIR hint alongside the epoch itself —
+    clients only ever download hints, never wait on their computation. *)
+
+val single_code_server : t -> Zltp_server.t
+
+val spir_data_hint_cache : t -> Lw_pir.Spir.Hint_cache.t
+(** The shared per-epoch hint cache behind {!single_data_server}
+    (tests/benches: hint sizes, cached epochs). *)
+
 val stats : t -> (string * int) list
 (** Human-readable counters for the CLI. *)

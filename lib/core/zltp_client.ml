@@ -64,7 +64,14 @@ type t = {
   mutable visit : bool;
   mutable resync_needed : bool;
   mutable resyncs : int;
+  (* single-server PIR: decoded per-epoch public hints. The ONLY client
+     state the mode keeps, and it is epoch-keyed public data any client
+     could re-fetch — dropped wholesale on re-sync, so a client that
+     fell behind holds nothing stale. *)
+  mutable spir_hints : (int * Lw_pir.Spir.hint) list;
 }
+
+let spir_hint_keep = 4
 
 let params_exn t =
   match t.params with Some p -> p | None -> invalid_arg "Zltp_client: not connected"
@@ -147,11 +154,15 @@ let check_params t (w : Zltp_wire.server_msg) =
       match t.params with
       | None ->
           t.params <- Some { mode; domain_bits; blob_size; hash_key };
-          if mode = Zltp_mode.Pir2 then begin
+          (* both PIR flavours address by index, so both need the
+             key→index map; the two keyword candidate hashes are only
+             probed by the two-server keyword verb *)
+          if mode = Zltp_mode.Pir2 || mode = Zltp_mode.Single then begin
             let base = Lw_pir.Keymap.create ~hash_key ~domain_bits in
             t.keymap <- Some base;
-            t.kw_maps <-
-              Some (Lw_pir.Keymap.derive base ~salt:0, Lw_pir.Keymap.derive base ~salt:1)
+            if mode = Zltp_mode.Pir2 then
+              t.kw_maps <-
+                Some (Lw_pir.Keymap.derive base ~salt:0, Lw_pir.Keymap.derive base ~salt:1)
           end;
           Ok epoch
       | Some p ->
@@ -287,7 +298,7 @@ let with_retry t op =
 
 (* ---- connection ---- *)
 
-let connect_replicated ?(prefer = [ Zltp_mode.Pir2; Zltp_mode.Enclave ]) ?rng
+let connect_replicated ?(prefer = [ Zltp_mode.Pir2; Zltp_mode.Enclave; Zltp_mode.Single ]) ?rng
     ?(policy = default_policy) ?clock role_replicas =
   let rng = match rng with Some r -> r | None -> Lw_crypto.Drbg.system () in
   let clock = match clock with Some c -> c | None -> Lw_obs.Clock.real () in
@@ -319,6 +330,7 @@ let connect_replicated ?(prefer = [ Zltp_mode.Pir2; Zltp_mode.Enclave ]) ?rng
         visit = false;
         resync_needed = false;
         resyncs = 0;
+        spir_hints = [];
       }
     in
     let rec dial_all i =
@@ -339,7 +351,10 @@ let connect_replicated ?(prefer = [ Zltp_mode.Pir2; Zltp_mode.Enclave ]) ?rng
               (Printf.sprintf "PIR mode requires exactly 2 non-colluding servers, got %d" n)
         | Zltp_mode.Enclave, 1 -> Ok t
         | Zltp_mode.Enclave, n ->
-            Error (Printf.sprintf "enclave mode uses exactly 1 server, got %d" n))
+            Error (Printf.sprintf "enclave mode uses exactly 1 server, got %d" n)
+        | Zltp_mode.Single, 1 -> Ok t
+        | Zltp_mode.Single, n ->
+            Error (Printf.sprintf "single-server PIR mode uses exactly 1 server, got %d" n))
   end
 
 let connect ?prefer ?rng ?policy ?clock endpoints =
@@ -398,18 +413,36 @@ let sync_session t role (s : session) =
 let resync t =
   t.resync_needed <- false;
   t.epoch <- None;
+  (* single-server PIR keeps no state past its per-epoch hints, and a
+     re-sync is exactly the "my epoch view is stale" signal — drop them
+     all; the next query re-fetches the (public) hint for whatever epoch
+     it lands on *)
+  t.spir_hints <- [];
   t.resyncs <- t.resyncs + 1;
   Lw_obs.Metrics.incr m_resyncs;
-  if Array.length t.roles = 2 then begin
-    let probe role = Option.bind role.session (fun s -> sync_session t role s) in
-    match (probe t.roles.(0), probe t.roles.(1)) with
-    | Some a, Some b when a < b -> fail_role t t.roles.(0)
-    | Some a, Some b when b < a -> fail_role t t.roles.(1)
-    | _ -> ()
-  end
+  let probe role = Option.bind role.session (fun s -> sync_session t role s) in
+  match t.roles with
+  | [| r0; r1 |] -> (
+      (* if the replicas diverge, fail over the stale side so the retry
+         can land on an up-to-date replica of that role *)
+      match (probe r0, probe r1) with
+      | Some a, Some b when a < b -> fail_role t r0
+      | Some a, Some b when b < a -> fail_role t r1
+      | _ -> ())
+  | roles -> Array.iter (fun r -> ignore (probe r)) roles
 
 let epoch_error code =
   code = Zltp_wire.err_epoch_retired || code = Zltp_wire.err_epoch_ahead
+
+(* [err_bad_request] covers both a genuinely malformed request (a client
+   bug) and a frame corrupted or desynced in flight — the CRC trailer
+   turns the latter into a structured decode failure on the server, and
+   the two are indistinguishable from here. The connection is suspect
+   either way: fail the role so a replicated session re-dials, and let
+   the bounded retry loop decide whether to give up. *)
+let conn_scoped_error code =
+  code = Zltp_wire.err_degraded || code = Zltp_wire.err_internal
+  || code = Zltp_wire.err_bad_request
 
 let expect_share t role ~epoch = function
   | Ok (Zltp_wire.Answer { epoch = e; share; _ }) ->
@@ -427,7 +460,7 @@ let expect_share t role ~epoch = function
         note_epoch_trouble t;
         transient message
       end
-      else if code = Zltp_wire.err_degraded || code = Zltp_wire.err_internal then
+      else if conn_scoped_error code then
         role_err t role (transient message)
       else fatal message
   | Ok _ -> role_err t role (transient "protocol violation: expected Answer")
@@ -499,12 +532,156 @@ let pir_fetch_index t index =
   fresh_op_epoch t;
   with_retry t (fun () -> pir_attempt t index)
 
+(* ---- single-server private-GET ----
+
+   One role, one server. The per-epoch public hint is fetched once and
+   cached by epoch; every query then sends a freshly masked selection
+   vector — under LWE the server's view is uniform whatever the index,
+   and its answer scan walks every bucket in index order regardless
+   ([Trace_check.check_spir_scan]). A retried query re-masks with a
+   fresh secret and a fresh qid, so — like a regenerated DPF pair — a
+   retry is cryptographically indistinguishable from a new query. *)
+
+let single_role t =
+  match t.roles with [| role |] -> Ok role | _ -> fatal "not a single-server session"
+
+(* Epoch for the next query: the pinned one inside a visit, else the
+   session's announced epoch (there is only one server to agree with). *)
+let spir_query_epoch t (s : session) =
+  match t.epoch with
+  | Some e -> e
+  | None ->
+      t.epoch <- Some s.epoch;
+      s.epoch
+
+let cache_hint t ~epoch hint =
+  t.spir_hints <-
+    (epoch, hint)
+    :: List.filteri (fun i _ -> i < spir_hint_keep - 1) (List.remove_assoc epoch t.spir_hints)
+
+let spir_hint_for t role (s : session) ~epoch =
+  match List.assoc_opt epoch t.spir_hints with
+  | Some h -> Ok h
+  | None -> (
+      let qid = fresh_qid t in
+      match role_err t role (send_msg s.ep (Zltp_wire.Spir_hint_req { qid; epoch })) with
+      | Error _ as e -> e
+      | Ok () -> (
+          match recv_matching s.ep ~qid with
+          | Ok (Zltp_wire.Spir_hint { epoch = e; hint; _ }) ->
+              if e <> epoch then begin
+                note_epoch_trouble t;
+                transient (Printf.sprintf "hint epoch %d, requested %d" e epoch)
+              end
+              else (
+                match Lw_pir.Spir.decode_hint hint with
+                | Error e -> role_err t role (transient ("undecodable hint: " ^ e))
+                | Ok h ->
+                    if Lw_pir.Spir.hint_epoch h <> epoch then
+                      role_err t role (transient "hint stamped with wrong epoch")
+                    else begin
+                      cache_hint t ~epoch h;
+                      Ok h
+                    end)
+          | Ok (Zltp_wire.Err { code; message; _ }) ->
+              if epoch_error code then begin
+                note_epoch_trouble t;
+                transient message
+              end
+              else if conn_scoped_error code then
+                role_err t role (transient message)
+              else fatal message
+          | Ok _ -> role_err t role (transient "protocol violation: expected Spir_hint")
+          | Error _ as e -> role_err t role e))
+
+let expect_spir_answer t role ~epoch = function
+  | Ok (Zltp_wire.Spir_answer { epoch = e; answer; _ }) ->
+      if e <> epoch then begin
+        (* never decode against the wrong epoch's hint: drop and re-sync *)
+        note_epoch_trouble t;
+        transient (Printf.sprintf "answer epoch %d, queried %d" e epoch)
+      end
+      else Ok answer
+  | Ok (Zltp_wire.Err { code; message; _ }) ->
+      if epoch_error code then begin
+        note_epoch_trouble t;
+        transient message
+      end
+      else if conn_scoped_error code then
+        role_err t role (transient message)
+      else fatal message
+  | Ok _ -> role_err t role (transient "protocol violation: expected Spir_answer")
+  | Error _ as e -> role_err t role e
+
+(* One masked query → one constant-trace scan → one recovered bucket. *)
+let spir_roundtrip t role (s : session) ~epoch hint index =
+  let db = (params_exn t).domain_bits in
+  try
+    let secret, query = Lw_pir.Spir.Client.query hint ~domain_bits:db ~index t.rng in
+    let qid = fresh_qid t in
+    match role_err t role (send_msg s.ep (Zltp_wire.Spir_query { qid; epoch; query })) with
+    | Error _ as e -> e
+    | Ok () -> (
+        match expect_spir_answer t role ~epoch (recv_matching s.ep ~qid) with
+        | Error _ as e -> e
+        | Ok answer -> (
+            match Lw_pir.Spir.Client.recover hint secret answer with
+            | Error e -> role_err t role (transient ("unrecoverable answer: " ^ e))
+            | Ok bucket ->
+                t.queries <- t.queries + 1;
+                Lw_obs.Metrics.incr m_queries;
+                Ok bucket))
+  with Invalid_argument e -> fatal e
+
+let spir_attempt t index =
+  if t.resync_needed then resync t;
+  match single_role t with
+  | Error _ as e -> e
+  | Ok role -> (
+      match role_session t role with
+      | Error e -> transient e
+      | Ok s -> (
+          let epoch = spir_query_epoch t s in
+          match spir_hint_for t role s ~epoch with
+          | Error _ as e -> e
+          | Ok hint -> spir_roundtrip t role s ~epoch hint index))
+
+(* Sequential single-server batch: there is no server-side batch verb (a
+   SPIR answer is already a whole-database scan per query), but the
+   whole batch still names ONE epoch, so a mid-batch seal cannot mix
+   record versions — same guarantee as the two-server [Pir_batch]. *)
+let spir_batch_attempt t indexed_keys =
+  if t.resync_needed then resync t;
+  match single_role t with
+  | Error _ as e -> e
+  | Ok role -> (
+      match role_session t role with
+      | Error e -> transient e
+      | Ok s -> (
+          let epoch = spir_query_epoch t s in
+          match spir_hint_for t role s ~epoch with
+          | Error _ as e -> e
+          | Ok hint ->
+              let rec go acc = function
+                | [] -> Ok (List.rev acc)
+                | (key, index) :: rest -> (
+                    match spir_roundtrip t role s ~epoch hint index with
+                    | Error _ as e -> e
+                    | Ok bucket -> go (Lw_pir.Record.decode_for_key ~key bucket :: acc) rest)
+              in
+              go [] indexed_keys))
+
+let spir_fetch_index t index =
+  fresh_op_epoch t;
+  with_retry t (fun () -> spir_attempt t index)
+
 let get_raw_index t index =
   match (params_exn t).mode with
-  | Zltp_mode.Pir2 ->
-      if index < 0 || index >= 1 lsl (params_exn t).domain_bits then Error "index out of domain"
-      else pir_fetch_index t index
   | Zltp_mode.Enclave -> Error "raw index fetch is PIR-only"
+  | (Zltp_mode.Pir2 | Zltp_mode.Single) as m ->
+      if index < 0 || index >= 1 lsl (params_exn t).domain_bits then Error "index out of domain"
+      else if m = Zltp_mode.Pir2 then pir_fetch_index t index
+      else spir_fetch_index t index
 
 let enclave_attempt t key =
   match t.roles with
@@ -522,7 +699,7 @@ let enclave_attempt t key =
               Lw_obs.Metrics.incr m_queries;
                   Ok value
               | Ok (Zltp_wire.Err { code; message; _ }) ->
-                  if code = Zltp_wire.err_degraded || code = Zltp_wire.err_internal then
+                  if conn_scoped_error code then
                     role_err t role (transient message)
                   else fatal message
               | Ok _ -> role_err t role (transient "protocol violation: expected Enclave_answer")
@@ -531,9 +708,11 @@ let enclave_attempt t key =
 
 let get t key =
   match (params_exn t).mode with
-  | Zltp_mode.Pir2 -> (
+  | (Zltp_mode.Pir2 | Zltp_mode.Single) as m -> (
       let keymap = Option.get t.keymap in
-      match pir_fetch_index t (Lw_pir.Keymap.index_of_key keymap key) with
+      let index = Lw_pir.Keymap.index_of_key keymap key in
+      let fetch = if m = Zltp_mode.Pir2 then pir_fetch_index else spir_fetch_index in
+      match fetch t index with
       | Ok bucket -> Ok (Lw_pir.Record.decode_for_key ~key bucket)
       | Error e -> Error e)
   | Zltp_mode.Enclave -> with_retry t (fun () -> enclave_attempt t key)
@@ -552,7 +731,7 @@ let expect_batch t role ~epoch n = function
         note_epoch_trouble t;
         transient message
       end
-      else if code = Zltp_wire.err_degraded || code = Zltp_wire.err_internal then
+      else if conn_scoped_error code then
         role_err t role (transient message)
       else fatal message
   | Ok _ -> role_err t role (transient "protocol violation: expected Batch_answer")
@@ -621,7 +800,7 @@ let expect_keyword t role ~epoch = function
         note_epoch_trouble t;
         transient message
       end
-      else if code = Zltp_wire.err_degraded || code = Zltp_wire.err_internal then
+      else if conn_scoped_error code then
         role_err t role (transient message)
       else fatal message
   | Ok _ -> role_err t role (transient "protocol violation: expected Keyword_answer")
@@ -671,6 +850,8 @@ let keyword_attempt t key =
 let keyword_get t key =
   match (params_exn t).mode with
   | Zltp_mode.Enclave -> Error "keyword GET is PIR-only; enclave mode fetches by key directly"
+  | Zltp_mode.Single ->
+      Error "keyword GET is two-server PIR-only; single-server mode fetches by key via get"
   | Zltp_mode.Pir2 ->
       fresh_op_epoch t;
       with_retry t (fun () -> keyword_attempt t key)
@@ -734,6 +915,8 @@ let keyword_batch_attempt t keyed =
 let keyword_get_batch t keys =
   match (params_exn t).mode with
   | Zltp_mode.Enclave -> Error "keyword GET is PIR-only; enclave mode fetches by key directly"
+  | Zltp_mode.Single ->
+      Error "keyword GET is two-server PIR-only; single-server mode fetches by key via get"
   | Zltp_mode.Pir2 ->
       let keyed = List.map (fun k -> (k, keyword_candidates t k)) keys in
       fresh_op_epoch t;
@@ -748,11 +931,12 @@ let get_batch t keys =
         | k :: rest -> ( match get t k with Ok v -> go (v :: acc) rest | Error e -> Error e)
       in
       go [] keys
-  | Zltp_mode.Pir2 ->
+  | (Zltp_mode.Pir2 | Zltp_mode.Single) as m ->
       let keymap = Option.get t.keymap in
       let indexed = List.map (fun k -> (k, Lw_pir.Keymap.index_of_key keymap k)) keys in
+      let attempt = if m = Zltp_mode.Pir2 then pir_batch_attempt else spir_batch_attempt in
       fresh_op_epoch t;
-      with_retry t (fun () -> pir_batch_attempt t indexed)
+      with_retry t (fun () -> attempt t indexed)
 
 let close t =
   Array.iter

@@ -1,12 +1,21 @@
-type t = Pir2 | Enclave
+type t = Pir2 | Enclave | Single
 
-let name = function Pir2 -> "pir2" | Enclave -> "enclave"
-let to_tag = function Pir2 -> 1 | Enclave -> 2
-let of_tag = function 1 -> Some Pir2 | 2 -> Some Enclave | _ -> None
-let all = [ Pir2; Enclave ]
+let name = function Pir2 -> "pir2" | Enclave -> "enclave" | Single -> "single"
+let to_tag = function Pir2 -> 1 | Enclave -> 2 | Single -> 3
+let of_tag = function 1 -> Some Pir2 | 2 -> Some Enclave | 3 -> Some Single | _ -> None
+let all = [ Single; Pir2; Enclave ]
+
+(* Strongest-assumption-last: a mode's rank counts how much beyond pure
+   cryptography its security leans on. Single rests on one cryptographic
+   assumption (decision-LWE) and nothing else; Pir2 adds non-collusion
+   between operators; Enclave rests entirely on hardware vendor trust. *)
+let rank = function Single -> 0 | Pir2 -> 1 | Enclave -> 2
 
 let negotiate ~client ~server =
-  List.find_opt (fun m -> List.mem m server) client
+  let common = List.filter (fun m -> List.mem m server) client in
+  match common with
+  | [] -> None
+  | ms -> Some (List.fold_left (fun best m -> if rank m < rank best then m else best) (List.hd ms) ms)
 
 let assumptions = function
   | Pir2 ->
@@ -15,3 +24,4 @@ let assumptions = function
         "non-collusion: at most 1 of the 2 servers is compromised";
       ]
   | Enclave -> [ "hardware: the enclave protects its private memory" ]
+  | Single -> [ "cryptographic: decision-LWE is hard (single server, no collusion or hardware trust)" ]

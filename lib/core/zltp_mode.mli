@@ -1,22 +1,36 @@
 (** ZLTP modes of operation (§2.2) and session negotiation.
 
-    - [Pir2]: two-server private information retrieval. Strongest
-      assumptions (cryptographic + non-collusion), linear-scan cost.
+    - [Pir2]: two-server private information retrieval. Cryptographic +
+      non-collusion assumptions, linear-scan cost.
     - [Enclave]: hardware enclave + oblivious RAM. Polylog cost, but the
-      client must trust the enclave vendor. *)
+      client must trust the enclave vendor.
+    - [Single]: single-server LWE-based PIR (ZipPIR direction) with a
+      per-epoch public hint and no persistent client state. One
+      cryptographic assumption, no non-collusion and no hardware trust;
+      the heaviest per-query compute of the three. *)
 
-type t = Pir2 | Enclave
+type t = Pir2 | Enclave | Single
 
 val name : t -> string
 val to_tag : t -> int
 val of_tag : int -> t option
 
 val all : t list
+(** All modes in assumption order, weakest-assumption first:
+    [[Single; Pir2; Enclave]]. *)
+
+val rank : t -> int
+(** Position in the documented assumption ordering: [Single] = 0 (one
+    cryptographic assumption), [Pir2] = 1 (adds non-collusion),
+    [Enclave] = 2 (hardware vendor trust). Lower rank = fewer/weaker
+    trust assumptions required of the user. *)
 
 val negotiate : client:t list -> server:t list -> t option
-(** First mode in the client's preference order that the server supports
-    (§2: "the client and server negotiate which cryptographic mode of
-    operation they will use"). *)
+(** The common mode with the lowest {!rank} — i.e. of everything both
+    sides offer, the mode whose security leans on the fewest
+    assumptions wins, regardless of list order on either side (§2: "the
+    client and server negotiate which cryptographic mode of operation
+    they will use"). [None] when the offers do not intersect. *)
 
 val assumptions : t -> string list
 (** The trust assumptions the mode's security rests on, for docs and the

@@ -2,26 +2,12 @@ let log_src = Logs.Src.create "lightweb.zltp" ~doc:"ZLTP server events"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-type backend =
-  | Pir_flat of Lw_pir.Server.t
-  | Pir_versioned of Lw_store.t
-  | Pir_sharded of Zltp_frontend.t
-  | Enclave_backend of Lw_oram.Enclave.t
-
 type t = {
-  backend : backend;
+  backend : Zltp_backend.t;
   blob_size : int;
   hash_key : string;
   server_id : string;
-  scan_domains : int;
-      (* workers the flat/versioned backends' scan kernels may use
-         (Server.answer_domains); a sharded backend carries its own knob
-         on the front-end *)
   mutable queries : int;
-  mutable advertised_epoch : int option;
-      (* control-plane override of the epoch announced in
-         Welcome/Health_reply/Sync_reply; answers still serve whatever
-         live epoch a query names *)
 }
 
 let default_hash_key = String.sub (Lw_crypto.Sha256.digest "lw-pir-store-default") 0 16
@@ -30,63 +16,44 @@ let create ?(server_id = "zltp-server") ?(hash_key = default_hash_key) ?(scan_do
     ~blob_size backend =
   if blob_size < 1 then invalid_arg "Zltp_server.create: blob_size must be positive";
   if scan_domains < 1 then invalid_arg "Zltp_server.create: scan_domains must be >= 1";
-  { backend; blob_size; hash_key; server_id; scan_domains; queries = 0; advertised_epoch = None }
-
-(* The single/batch scan entry points, through the parallel kernel when
-   the knob asks for it (the kernel's own work-size cutoff keeps small
-   databases serial either way). *)
-let scan_one t s k =
-  if t.scan_domains > 1 then Lw_pir.Server.answer_domains ~domains:t.scan_domains s k
-  else Lw_pir.Server.answer s k
-
-let scan_many t s keys =
-  if t.scan_domains > 1 then Lw_pir.Server.answer_batch_domains ~domains:t.scan_domains s keys
-  else Lw_pir.Server.answer_batch s keys
+  let (module B : Zltp_backend.S) = backend in
+  B.set_scan_domains scan_domains;
+  { backend; blob_size; hash_key; server_id; queries = 0 }
 
 let backend t = t.backend
 let blob_size t = t.blob_size
 let queries_served t = t.queries
 
+(* Everything below goes through the BACKEND signature: this file knows
+   the verb set, never which backend answers it. *)
+
 let modes t =
-  match t.backend with
-  | Pir_flat _ | Pir_versioned _ | Pir_sharded _ -> [ Zltp_mode.Pir2 ]
-  | Enclave_backend _ -> [ Zltp_mode.Enclave ]
+  let (module B : Zltp_backend.S) = t.backend in
+  B.modes
 
 let domain_bits t =
-  match t.backend with
-  | Pir_flat s -> Lw_pir.Server.domain_bits s
-  | Pir_versioned st -> Lw_store.domain_bits st
-  | Pir_sharded fe -> Zltp_frontend.domain_bits fe
-  | Enclave_backend _ -> 0
+  let (module B : Zltp_backend.S) = t.backend in
+  B.domain_bits
 
 let health t =
-  match t.backend with
-  | Pir_flat _ | Pir_versioned _ | Enclave_backend _ -> (1, 0)
-  | Pir_sharded fe -> (Zltp_frontend.shard_count fe, Zltp_frontend.shards_down fe)
+  let (module B : Zltp_backend.S) = t.backend in
+  B.health ()
 
-(* The epoch this replica announces (Welcome/Health/Sync). Unversioned
-   backends are forever at epoch 0 — a degenerate engine that never
-   seals. A cluster control plane may override the announcement
-   ([set_advertised_epoch]) so a two-phase rollout can seal the next
-   epoch on every replica first and flip what clients learn second;
-   queries still serve whatever live epoch they name. *)
 let current_epoch t =
-  match t.advertised_epoch with
-  | Some e -> e
-  | None -> (
-      match t.backend with
-      | Pir_versioned st -> Lw_store.current_epoch st
-      | Pir_sharded fe -> Zltp_frontend.announced_epoch fe
-      | Pir_flat _ | Enclave_backend _ -> 0)
+  let (module B : Zltp_backend.S) = t.backend in
+  B.current_epoch ()
 
-let set_advertised_epoch t e = t.advertised_epoch <- e
-let advertised_epoch t = t.advertised_epoch
+let set_advertised_epoch t e =
+  let (module B : Zltp_backend.S) = t.backend in
+  B.set_advertised_epoch e
+
+let advertised_epoch t =
+  let (module B : Zltp_backend.S) = t.backend in
+  B.advertised_epoch ()
 
 let oldest_epoch t =
-  match t.backend with
-  | Pir_versioned st -> Lw_store.oldest_epoch st
-  | Pir_sharded fe -> Zltp_frontend.announced_epoch fe
-  | Pir_flat _ | Enclave_backend _ -> 0
+  let (module B : Zltp_backend.S) = t.backend in
+  B.oldest_epoch ()
 
 type conn = { server : t; mutable mode : Zltp_mode.t option }
 
@@ -102,54 +69,23 @@ let deserialize_key t dpf_key =
         Error (Zltp_wire.err_bad_request, "domain mismatch")
       else Ok k
 
-(* Answer strictly against the queried epoch. A versioned backend pins
-   that epoch for the duration of the scan (so a concurrent seal cannot
-   retire it mid-answer) and unpins on every exit path; an epoch the
-   replica no longer / does not yet hold becomes the structured
-   err_epoch_retired / err_epoch_ahead the client's re-sync understands. *)
-let with_pinned st ~epoch f =
-  match Lw_store.pin st ~epoch with
-  | Error Lw_store.Retired ->
-      Error (Zltp_wire.err_epoch_retired, Printf.sprintf "epoch %d retired" epoch)
-  | Error Lw_store.Ahead ->
-      Error (Zltp_wire.err_epoch_ahead, Printf.sprintf "epoch %d not yet published" epoch)
-  | Ok snap ->
-      Fun.protect
-        ~finally:(fun () -> Lw_store.unpin st snap)
-        (fun () -> Ok (f (Lw_pir.Server.of_snapshot snap)))
-
-let check_epoch_exact ~have ~queried =
-  if queried = have then Ok ()
-  else if queried > have then
-    Error (Zltp_wire.err_epoch_ahead, Printf.sprintf "epoch %d not yet published" queried)
-  else Error (Zltp_wire.err_epoch_retired, Printf.sprintf "epoch %d retired" queried)
-
+(* Answer strictly against the queried epoch: pin it for the duration of
+   the answer (so a concurrent seal cannot retire it mid-scan) and unpin
+   on every exit path. What pinning means — store pin, shard epoch
+   agreement, the degenerate epoch-0 check — is the backend's business. *)
 let answer_pir t ~epoch dpf_key =
   match deserialize_key t dpf_key with
   | Error _ as e -> e
   | Ok k -> (
-      match t.backend with
-      | Pir_flat s -> (
-          match check_epoch_exact ~have:0 ~queried:epoch with
-          | Error _ as e -> e
-          | Ok () -> Ok (scan_one t s k))
-      | Pir_versioned st -> with_pinned st ~epoch (fun s -> scan_one t s k)
-      | Pir_sharded fe -> (
-          match Zltp_frontend.epoch_agreed fe with
-          | None -> Error (Zltp_wire.err_degraded, "epoch mismatch across shards")
-          | Some have -> (
-              match check_epoch_exact ~have ~queried:epoch with
-              | Error _ as e -> e
-              | Ok () -> (
-                  match Zltp_frontend.answer_result fe k with
-                  | Ok share -> Ok share
-                  | Error e -> Error (Zltp_wire.err_degraded, e))))
-      | Enclave_backend _ -> Error (Zltp_wire.err_wrong_mode, "wrong mode"))
+      let (module B : Zltp_backend.S) = t.backend in
+      match B.pin ~epoch with
+      | Error _ as e -> e
+      | Ok v -> Fun.protect ~finally:(fun () -> B.unpin v) (fun () -> B.answer v k))
 
 (* A batch deserialises and validates every key before any evaluation, so
    a malformed key rejects the whole request rather than wasting a
-   partial scan; the accepted keys then ride the bit-packed batch kernel
-   — one streamed pass over the data per 8 queries — instead of
+   partial scan; the accepted keys then ride the backend's batch entry —
+   the bit-packed kernel's one streamed pass per 8 queries — instead of
    re-entering the single-query path per key. *)
 let answer_pir_batch t ~epoch dpf_keys =
   let rec deserialize_all acc = function
@@ -162,23 +98,37 @@ let answer_pir_batch t ~epoch dpf_keys =
   match deserialize_all [] dpf_keys with
   | Error _ as e -> e
   | Ok keys -> (
-      match t.backend with
-      | Pir_flat s -> (
-          match check_epoch_exact ~have:0 ~queried:epoch with
-          | Error _ as e -> e
-          | Ok () -> Ok (Array.to_list (scan_many t s keys)))
-      | Pir_versioned st -> with_pinned st ~epoch (fun s -> Array.to_list (scan_many t s keys))
-      | Pir_sharded fe -> (
-          match Zltp_frontend.epoch_agreed fe with
-          | None -> Error (Zltp_wire.err_degraded, "epoch mismatch across shards")
-          | Some have -> (
-              match check_epoch_exact ~have ~queried:epoch with
-              | Error _ as e -> e
-              | Ok () -> (
-                  match Zltp_frontend.answer_batch_result fe keys with
-                  | Ok shares -> Ok (Array.to_list shares)
-                  | Error e -> Error (Zltp_wire.err_degraded, e))))
-      | Enclave_backend _ -> Error (Zltp_wire.err_wrong_mode, "wrong mode"))
+      let (module B : Zltp_backend.S) = t.backend in
+      match B.pin ~epoch with
+      | Error _ as e -> e
+      | Ok v ->
+          Fun.protect
+            ~finally:(fun () -> B.unpin v)
+            (fun () ->
+              match B.answer_batch v keys with
+              | Ok shares -> Ok (Array.to_list shares)
+              | Error _ as e -> e))
+
+let answer_spir_hint t ~epoch =
+  let (module B : Zltp_backend.S) = t.backend in
+  match B.pin ~epoch with
+  | Error _ as e -> e
+  | Ok v -> Fun.protect ~finally:(fun () -> B.unpin v) (fun () -> B.spir_hint v)
+
+let answer_spir t ~epoch query =
+  let (module B : Zltp_backend.S) = t.backend in
+  match B.pin ~epoch with
+  | Error _ as e -> e
+  | Ok v -> Fun.protect ~finally:(fun () -> B.unpin v) (fun () -> B.spir_answer v query)
+
+let enclave_get t key =
+  let (module B : Zltp_backend.S) = t.backend in
+  B.enclave_get key
+
+(* A session speaks exactly one verb family after Hello; a verb from
+   another family is the structured wrong-mode error. *)
+let wrong_session_mode mode =
+  Printf.sprintf "session is in %s mode" (Zltp_mode.name mode)
 
 let handle c msg =
   let t = c.server in
@@ -220,7 +170,8 @@ let handle c msg =
   | Zltp_wire.Pir_query { qid; epoch; dpf_key } -> (
       match c.mode with
       | None -> err ~qid Zltp_wire.err_not_negotiated "hello first"
-      | Some Zltp_mode.Enclave -> err ~qid Zltp_wire.err_wrong_mode "session is in enclave mode"
+      | Some ((Zltp_mode.Enclave | Zltp_mode.Single) as m) ->
+          err ~qid Zltp_wire.err_wrong_mode (wrong_session_mode m)
       | Some Zltp_mode.Pir2 -> (
           match answer_pir t ~epoch dpf_key with
           | Ok share ->
@@ -235,7 +186,8 @@ let handle c msg =
   | Zltp_wire.Pir_batch { qid; epoch; dpf_keys } -> (
       match c.mode with
       | None -> err ~qid Zltp_wire.err_not_negotiated "hello first"
-      | Some Zltp_mode.Enclave -> err ~qid Zltp_wire.err_wrong_mode "session is in enclave mode"
+      | Some ((Zltp_mode.Enclave | Zltp_mode.Single) as m) ->
+          err ~qid Zltp_wire.err_wrong_mode (wrong_session_mode m)
       | Some Zltp_mode.Pir2 -> (
           match answer_pir_batch t ~epoch dpf_keys with
           | Ok shares ->
@@ -253,7 +205,8 @@ let handle c msg =
          other PIR batch *)
       match c.mode with
       | None -> err ~qid Zltp_wire.err_not_negotiated "hello first"
-      | Some Zltp_mode.Enclave -> err ~qid Zltp_wire.err_wrong_mode "session is in enclave mode"
+      | Some ((Zltp_mode.Enclave | Zltp_mode.Single) as m) ->
+          err ~qid Zltp_wire.err_wrong_mode (wrong_session_mode m)
       | Some Zltp_mode.Pir2 -> (
           match answer_pir_batch t ~epoch [ dpf_key0; dpf_key1 ] with
           | Ok [ share0; share1 ] ->
@@ -264,17 +217,44 @@ let handle c msg =
           | Error (code, e) ->
               Log.info (fun m -> m "%s: rejected keyword query: %s" t.server_id e);
               err ~qid code e))
+  | Zltp_wire.Spir_hint_req { qid; epoch } -> (
+      match c.mode with
+      | None -> err ~qid Zltp_wire.err_not_negotiated "hello first"
+      | Some ((Zltp_mode.Pir2 | Zltp_mode.Enclave) as m) ->
+          err ~qid Zltp_wire.err_wrong_mode (wrong_session_mode m)
+      | Some Zltp_mode.Single -> (
+          match answer_spir_hint t ~epoch with
+          | Ok hint ->
+              Log.debug (fun m -> m "%s: SPIR hint for epoch %d served" t.server_id epoch);
+              Some (Zltp_wire.Spir_hint { qid; epoch; hint })
+          | Error (code, e) ->
+              Log.info (fun m -> m "%s: rejected hint request: %s" t.server_id e);
+              err ~qid code e))
+  | Zltp_wire.Spir_query { qid; epoch; query } -> (
+      match c.mode with
+      | None -> err ~qid Zltp_wire.err_not_negotiated "hello first"
+      | Some ((Zltp_mode.Pir2 | Zltp_mode.Enclave) as m) ->
+          err ~qid Zltp_wire.err_wrong_mode (wrong_session_mode m)
+      | Some Zltp_mode.Single -> (
+          match answer_spir t ~epoch query with
+          | Ok answer ->
+              t.queries <- t.queries + 1;
+              Log.debug (fun m -> m "%s: private-GET #%d answered" t.server_id t.queries);
+              Some (Zltp_wire.Spir_answer { qid; epoch; answer })
+          | Error (code, e) ->
+              Log.info (fun m -> m "%s: rejected SPIR query: %s" t.server_id e);
+              err ~qid code e))
   | Zltp_wire.Enclave_get { qid; key } -> (
       match c.mode with
       | None -> err ~qid Zltp_wire.err_not_negotiated "hello first"
-      | Some Zltp_mode.Pir2 -> err ~qid Zltp_wire.err_wrong_mode "session is in PIR mode"
+      | Some ((Zltp_mode.Pir2 | Zltp_mode.Single) as m) ->
+          err ~qid Zltp_wire.err_wrong_mode (wrong_session_mode m)
       | Some Zltp_mode.Enclave -> (
-          match t.backend with
-          | Enclave_backend e ->
+          match enclave_get t key with
+          | Ok value ->
               t.queries <- t.queries + 1;
-              Some (Zltp_wire.Enclave_answer { qid; value = Lw_oram.Enclave.get e key })
-          | Pir_flat _ | Pir_versioned _ | Pir_sharded _ ->
-              err ~qid Zltp_wire.err_internal "backend/mode mismatch"))
+              Some (Zltp_wire.Enclave_answer { qid; value })
+          | Error (code, e) -> err ~qid code e))
 
 (* The request path must never let an exception escape and tear the whole
    connection (or, under a shared-process server, the process) down: any

@@ -1,34 +1,37 @@
 (** A logical ZLTP server: holds one key-value universe shard set and
     answers private-GETs in its configured modes.
 
-    In PIR mode this object is one of the two non-colluding logical
-    servers; a deployment instantiates it twice over replicas of the same
-    data. In enclave mode a single instance suffices. *)
+    The server is backend-agnostic: it is constructed over any
+    {!Zltp_backend.t} (flat, versioned, sharded, enclave, single-server
+    PIR — or anything else implementing the signature) and drives every
+    request through the [BACKEND] contract: pin the queried epoch, call
+    the verb, unpin on every exit path. It never pattern-matches on what
+    it hosts.
 
-type backend =
-  | Pir_flat of Lw_pir.Server.t (** single data server (microbenchmark scale) *)
-  | Pir_versioned of Lw_store.t
-      (** epoch-versioned engine: each query is answered against the
-          epoch it names, pinned for the duration of the scan, so the
-          publisher can seal new epochs while queries are in flight *)
-  | Pir_sharded of Zltp_frontend.t (** front-end + shards (§5.2) *)
-  | Enclave_backend of Lw_oram.Enclave.t
+    In two-server PIR mode this object is one of the two non-colluding
+    logical servers; a deployment instantiates it twice over replicas of
+    the same data. In enclave or single-server PIR mode a single
+    instance suffices. *)
 
 type t
 
 val create :
-  ?server_id:string -> ?hash_key:string -> ?scan_domains:int -> blob_size:int -> backend -> t
+  ?server_id:string ->
+  ?hash_key:string ->
+  ?scan_domains:int ->
+  blob_size:int ->
+  Zltp_backend.t ->
+  t
 (** [hash_key] is the public keyword-hash key announced in [Welcome]; it
     must match the store the backend was populated from.
 
-    [scan_domains] (default 1) lets a flat or versioned backend answer
+    [scan_domains] (default 1) is forwarded to the backend
+    ({!Zltp_backend.S.set_scan_domains}): flat/versioned backends answer
     through the domain-partitioned scan kernel
-    ({!Lw_pir.Server.answer_domains}); the kernel's work-size cutoff
-    keeps small databases on the serial path regardless. A sharded
-    backend carries its own knob on the front-end
-    ({!Zltp_frontend.set_scan_domains}). *)
+    ({!Lw_pir.Server.answer_domains}); backends with their own knob (the
+    sharded front-end) or no scan kernel ignore it. *)
 
-val backend : t -> backend
+val backend : t -> Zltp_backend.t
 val blob_size : t -> int
 val modes : t -> Zltp_mode.t list
 val queries_served : t -> int
@@ -46,13 +49,13 @@ val oldest_epoch : t -> int
     unversioned backends). *)
 
 val set_advertised_epoch : t -> int option -> unit
-(** Control-plane override of the {e announced} epoch. [Some e] makes
-    [Welcome]/[Health_reply]/[Sync_reply] report [e] as current —
-    queries still serve whatever live epoch they name, so a versioned
-    backend can hold the next epoch sealed but invisible until the
-    cluster rollout driver flips every replica's announcement at once
-    (rollout phase two), and can be flipped back on rollback. [None]
-    restores the backend's own epoch. *)
+(** Control-plane override of the {e announced} epoch (delegated to the
+    backend). [Some e] makes [Welcome]/[Health_reply]/[Sync_reply]
+    report [e] as current — queries still serve whatever live epoch they
+    name, so a versioned backend can hold the next epoch sealed but
+    invisible until the cluster rollout driver flips every replica's
+    announcement at once (rollout phase two), and can be flipped back on
+    rollback. [None] restores the backend's own epoch. *)
 
 val advertised_epoch : t -> int option
 

@@ -4,6 +4,8 @@ type client_msg =
   | Pir_batch of { qid : int; epoch : int; dpf_keys : string list }
   | Keyword_query of { qid : int; epoch : int; dpf_key0 : string; dpf_key1 : string }
   | Enclave_get of { qid : int; key : string }
+  | Spir_hint_req of { qid : int; epoch : int }
+  | Spir_query of { qid : int; epoch : int; query : string }
   | Health of { qid : int }
   | Sync of { qid : int }
   | Bye
@@ -22,11 +24,13 @@ type server_msg =
   | Batch_answer of { qid : int; epoch : int; shares : string list }
   | Keyword_answer of { qid : int; epoch : int; share0 : string; share1 : string }
   | Enclave_answer of { qid : int; value : string option }
+  | Spir_hint of { qid : int; epoch : int; hint : string }
+  | Spir_answer of { qid : int; epoch : int; answer : string }
   | Health_reply of { qid : int; shards_total : int; shards_down : int; epoch : int }
   | Sync_reply of { qid : int; epoch : int; oldest : int }
   | Err of { qid : int; code : int; message : string }
 
-let protocol_version = 4
+let protocol_version = 5
 let err_not_negotiated = 1
 let err_bad_request = 2
 let err_wrong_mode = 3
@@ -41,14 +45,15 @@ let err_epoch_ahead = 7
 let reply_qid = function
   | Welcome _ -> None
   | Answer { qid; _ } | Batch_answer { qid; _ } | Keyword_answer { qid; _ }
-  | Enclave_answer { qid; _ } | Health_reply { qid; _ } | Sync_reply { qid; _ } | Err { qid; _ }
-    ->
+  | Enclave_answer { qid; _ } | Spir_hint { qid; _ } | Spir_answer { qid; _ }
+  | Health_reply { qid; _ } | Sync_reply { qid; _ } | Err { qid; _ } ->
       Some qid
 
 let request_qid = function
   | Hello _ | Bye -> None
   | Pir_query { qid; _ } | Pir_batch { qid; _ } | Keyword_query { qid; _ }
-  | Enclave_get { qid; _ } | Health { qid } | Sync { qid } ->
+  | Enclave_get { qid; _ } | Spir_hint_req { qid; _ } | Spir_query { qid; _ }
+  | Health { qid } | Sync { qid } ->
       Some qid
 
 (* ---- primitive writers/readers: tag byte, u8, u32-be, length-prefixed
@@ -162,7 +167,16 @@ let encode_client msg =
       add_u32 buf qid;
       add_u32 buf epoch;
       add_str buf dpf_key0;
-      add_str buf dpf_key1);
+      add_str buf dpf_key1
+  | Spir_hint_req { qid; epoch } ->
+      add_u8 buf 9;
+      add_u32 buf qid;
+      add_u32 buf epoch
+  | Spir_query { qid; epoch; query } ->
+      add_u8 buf 10;
+      add_u32 buf qid;
+      add_u32 buf epoch;
+      add_str buf query);
   seal (Buffer.contents buf)
 
 let mode_of_tag r =
@@ -198,6 +212,14 @@ let decode_client s =
           let dpf_key0 = str r in
           let dpf_key1 = str r in
           finish r (Keyword_query { qid; epoch; dpf_key0; dpf_key1 })
+      | 9 ->
+          let qid = u32 r in
+          let epoch = u32 r in
+          finish r (Spir_hint_req { qid; epoch })
+      | 10 ->
+          let qid = u32 r in
+          let epoch = u32 r in
+          finish r (Spir_query { qid; epoch; query = str r })
       | t -> raise (Decode (Printf.sprintf "unknown client tag %d" t)))
     s
 
@@ -254,7 +276,17 @@ let encode_server msg =
       add_u32 buf qid;
       add_u32 buf epoch;
       add_str buf share0;
-      add_str buf share1);
+      add_str buf share1
+  | Spir_hint { qid; epoch; hint } ->
+      add_u8 buf 9;
+      add_u32 buf qid;
+      add_u32 buf epoch;
+      add_str buf hint
+  | Spir_answer { qid; epoch; answer } ->
+      add_u8 buf 10;
+      add_u32 buf qid;
+      add_u32 buf epoch;
+      add_str buf answer);
   seal (Buffer.contents buf)
 
 let decode_server s =
@@ -306,5 +338,13 @@ let decode_server s =
           let share0 = str r in
           let share1 = str r in
           finish r (Keyword_answer { qid; epoch; share0; share1 })
+      | 9 ->
+          let qid = u32 r in
+          let epoch = u32 r in
+          finish r (Spir_hint { qid; epoch; hint = str r })
+      | 10 ->
+          let qid = u32 r in
+          let epoch = u32 r in
+          finish r (Spir_answer { qid; epoch; answer = str r })
       | t -> raise (Decode (Printf.sprintf "unknown server tag %d" t)))
     s

@@ -36,7 +36,18 @@
     shape is fixed and query-independent: every keyword query ships
     exactly two keys and receives exactly two shares, whether or not the
     key's candidates coincide, so the verb leaks nothing about the key
-    beyond "a keyword lookup happened". *)
+    beyond "a keyword lookup happened".
+
+    Protocol version 5 adds the single-server PIR mode ([Zltp_mode.Single])
+    as first-class verbs: [Spir_hint_req]/[Spir_hint] fetch the per-epoch
+    public hint (the packed [H = D·A] matrix any client could recompute —
+    it carries no per-client state), and [Spir_query]/[Spir_answer] carry
+    the LWE-masked selection vector and the server's matrix-vector scan
+    over the pinned epoch. Both verbs are epoch-addressed exactly like
+    [Pir_query]: a stale epoch answers [Err {err_epoch_retired}] /
+    [err_epoch_ahead], and the hint a client holds is only ever valid for
+    the epoch stamped inside it. The [Welcome] mode tag (present since
+    v2) is what tells the client which verb family the session speaks. *)
 
 type client_msg =
   | Hello of { version : int; modes : Zltp_mode.t list }
@@ -46,6 +57,10 @@ type client_msg =
       (** one DPF key share per cuckoo candidate bucket (salts 0/1 of the
           Welcome [hash_key]); always two, even when candidates coincide *)
   | Enclave_get of { qid : int; key : string }
+  | Spir_hint_req of { qid : int; epoch : int }
+      (** fetch the per-epoch public SPIR hint ([Single] mode only) *)
+  | Spir_query of { qid : int; epoch : int; query : string }
+      (** the serialized LWE-masked selection vector ({!Lw_pir.Spir}) *)
   | Health of { qid : int }
   | Sync of { qid : int }  (** ask for the replica's current/oldest epoch *)
   | Bye
@@ -65,6 +80,8 @@ type server_msg =
   | Keyword_answer of { qid : int; epoch : int; share0 : string; share1 : string }
       (** one share per candidate probe, same order as the query's keys *)
   | Enclave_answer of { qid : int; value : string option }
+  | Spir_hint of { qid : int; epoch : int; hint : string }
+  | Spir_answer of { qid : int; epoch : int; answer : string }
   | Health_reply of { qid : int; shards_total : int; shards_down : int; epoch : int }
   | Sync_reply of { qid : int; epoch : int; oldest : int }
       (** current and oldest still-answerable epochs *)

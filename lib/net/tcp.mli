@@ -20,9 +20,13 @@ val serve :
 val port : server -> int
 
 val shutdown : server -> unit
-(** Stop accepting, close the listening socket, {e and} close every live
-    per-connection endpoint, so handler threads blocked in [recv] wake
-    with [Endpoint.Closed] and terminate promptly instead of leaking. *)
+(** Stop accepting, {e and} interrupt every live per-connection endpoint,
+    so handler threads blocked in [recv] wake with [Endpoint.Closed] and
+    terminate promptly instead of leaking. Descriptors are closed by the
+    threads that own them (the accept thread for the listener, each
+    handler thread for its connection) — never cross-thread, which would
+    race in-flight IO against fd-number reuse and could desync an
+    unrelated connection's frame stream. *)
 
 val connect :
   ?connect_timeout_s:float ->

@@ -126,6 +126,120 @@ let keyword_estimate ?policy ?bucket_bytes ?batch ds shard inst =
       (if base.vcpu_seconds > 0. then kw_vcpu_seconds /. base.vcpu_seconds else 0.);
   }
 
+(* ------------------------------------------------------------------ *)
+(* Three-way mode comparison: the same Table-2 columns (C1 compute,
+   C2 dollars, C3 communication, C4 latency floor) for each deployment
+   model in Zltp_mode.all, at one dataset/instance operating point.   *)
+
+type mode_cost = {
+  mode : Lightweb.Zltp_mode.t;
+  mc_servers : int;
+  mc_shards : int;
+  mc_vcpu_seconds : float;
+  mc_request_cost_usd : float;
+  mc_upload_kib : float;
+  mc_download_kib : float;
+  mc_total_comm_kib : float;
+  mc_latency_floor_s : float;
+  mc_hint_mib_per_epoch : float;
+}
+
+let three_way ?(policy = Storage_driven) ?(bucket_bytes = 4096) ?(batch = 16)
+    ?(single_slowdown = 8.) ?(spir_n = Lw_pir.Spir.default_params.Lw_pir.Spir.n) ?(oram_z = 4) ds
+    shard inst =
+  (* Bytes/second the measured shard streams its data at (XOR scan). *)
+  let scan_rate = shard.shard_bytes /. Float.max 1e-9 shard.scan_seconds in
+  let fleet_cost ~servers ~shards ~request_seconds ~upload_bytes ~download_bytes
+      ~hint_bytes_per_epoch mode =
+    let instance_seconds = float_of_int shards *. request_seconds in
+    {
+      mode;
+      mc_servers = servers;
+      mc_shards = shards;
+      mc_vcpu_seconds = instance_seconds *. float_of_int inst.vcpus *. float_of_int servers;
+      mc_request_cost_usd =
+        instance_seconds /. 3600. *. inst.price_per_hour *. float_of_int servers;
+      mc_upload_kib = upload_bytes /. 1024.;
+      mc_download_kib = download_bytes /. 1024.;
+      mc_total_comm_kib = (upload_bytes +. download_bytes) /. 1024.;
+      mc_latency_floor_s = float_of_int batch *. request_seconds;
+      mc_hint_mib_per_epoch = hint_bytes_per_epoch /. (1024. *. 1024.);
+    }
+  in
+  let pir2 =
+    let e = estimate ~policy ~bucket_bytes ~batch ds shard inst in
+    fleet_cost ~servers ~shards:e.shards ~request_seconds:shard.request_seconds
+      ~upload_bytes:(e.upload_kib *. 1024.)
+      ~download_bytes:(e.download_kib *. 1024.)
+      ~hint_bytes_per_epoch:0. Lightweb.Zltp_mode.Pir2
+  in
+  let single =
+    (* The LWE noise budget caps a Single shard at max_domain_bits, so the
+       same dataset fragments into more, smaller shards; obliviousness
+       means every shard answers every query (selection vector up, one
+       u32-per-row answer down, from each). One server, no DPF eval: a
+       request is one multiply-accumulate pass over the shard, modeled as
+       the measured XOR scan slowed by [single_slowdown]. The per-epoch
+       hint is amortized over all queries and reported beside C3, not in
+       it. *)
+    let db = min shard.domain_bits Lw_pir.Spir.max_domain_bits in
+    let pages_per_shard = float_of_int (1 lsl db) in
+    let shard_bytes = pages_per_shard *. float_of_int bucket_bytes in
+    let shards =
+      let count =
+        match policy with
+        | Storage_driven -> ds.total_bytes /. shard_bytes
+        | Domain_driven -> ds.pages /. pages_per_shard
+      in
+      max 1 (int_of_float (Float.ceil count))
+    in
+    let request_seconds = shard_bytes /. scan_rate *. single_slowdown in
+    let fshards = float_of_int shards in
+    let upload_bytes = fshards *. float_of_int (Lw_pir.Spir.query_bytes ~domain_bits:db) in
+    let download_bytes = fshards *. float_of_int (12 + (4 * bucket_bytes)) in
+    let hint_bytes_per_epoch =
+      fshards
+      *. float_of_int
+           (Lw_pir.Spir.hint_bytes { Lw_pir.Spir.n = spir_n } ~bucket_size:bucket_bytes)
+    in
+    fleet_cost ~servers:1 ~shards ~request_seconds ~upload_bytes ~download_bytes
+      ~hint_bytes_per_epoch Lightweb.Zltp_mode.Single
+  in
+  let enclave =
+    (* One trusted machine per shard; a GET is a tree-ORAM path — about
+       2·⌈log2 pages⌉ node reads of Z buckets each — at the measured scan
+       rate, on the one shard holding the index (the enclave hides which
+       bucket within the shard; shard routing rides the same frontend
+       fan-out as the other modes). Communication is a fixed-size
+       encrypted request up and one encrypted bucket down. *)
+    let shards = shard_count policy ds shard in
+    let path_nodes = 2 * max 1 shard.domain_bits * oram_z in
+    let path_bytes = float_of_int (path_nodes * bucket_bytes) in
+    let request_seconds = path_bytes /. scan_rate in
+    let mc =
+      fleet_cost ~servers:1 ~shards:1 ~request_seconds ~upload_bytes:64.
+        ~download_bytes:(float_of_int (bucket_bytes + 32))
+        ~hint_bytes_per_epoch:0. Lightweb.Zltp_mode.Enclave
+    in
+    { mc with mc_shards = shards }
+  in
+  List.map
+    (function
+      | Lightweb.Zltp_mode.Single -> single
+      | Lightweb.Zltp_mode.Pir2 -> pir2
+      | Lightweb.Zltp_mode.Enclave -> enclave)
+    Lightweb.Zltp_mode.all
+
+let pp_mode_cost fmt m =
+  Format.fprintf fmt
+    "%-7s servers=%d shards=%-5d vCPU-s=%-9.4f cost=$%-9.6f up=%.1fKiB down=%.1fKiB comm=%.1fKiB latency>=%.3fs%s"
+    (Lightweb.Zltp_mode.name m.mode)
+    m.mc_servers m.mc_shards m.mc_vcpu_seconds m.mc_request_cost_usd m.mc_upload_kib
+    m.mc_download_kib m.mc_total_comm_kib m.mc_latency_floor_s
+    (if m.mc_hint_mib_per_epoch > 0. then
+       Printf.sprintf " hint=%.1fMiB/epoch" m.mc_hint_mib_per_epoch
+     else "")
+
 type update_estimate = {
   churn : float;
   dirty_buckets : float;

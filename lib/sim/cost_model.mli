@@ -95,6 +95,55 @@ val keyword_estimate :
 
 val pp_keyword : Format.formatter -> keyword_estimate -> unit
 
+(** {2 The three-way mode comparison}
+
+    The same Table-2 columns — C1 compute (vCPU-s), C2 dollars per
+    request, C3 communication, C4 latency floor — for each deployment
+    model in {!Lightweb.Zltp_mode.all}, at one dataset / instance
+    operating point. This is what makes the cost model three-way
+    comparable: the trade-off the paper argues (non-collusion vs
+    hardware trust vs a single cryptographic assumption) priced in one
+    table. *)
+
+type mode_cost = {
+  mode : Lightweb.Zltp_mode.t;
+  mc_servers : int;  (** logical servers a request touches (2, 1, 1) *)
+  mc_shards : int;
+  mc_vcpu_seconds : float;  (** C1: system-wide compute per request *)
+  mc_request_cost_usd : float;  (** C2 *)
+  mc_upload_kib : float;
+  mc_download_kib : float;
+  mc_total_comm_kib : float;  (** C3 *)
+  mc_latency_floor_s : float;  (** C4: batch × per-shard request time *)
+  mc_hint_mib_per_epoch : float;
+      (** [Single] only: the per-epoch public hint, amortized over every
+          client and query — reported beside C3, not folded into it *)
+}
+
+val three_way :
+  ?policy:policy ->
+  ?bucket_bytes:int ->
+  ?batch:int ->
+  ?single_slowdown:float ->
+  ?spir_n:int ->
+  ?oram_z:int ->
+  dataset ->
+  shard ->
+  instance ->
+  mode_cost list
+(** One {!mode_cost} per mode, in {!Lightweb.Zltp_mode.all} order.
+    [Pir2] reproduces {!estimate} exactly. [Single] re-shards the
+    dataset at the LWE noise cap ({!Lw_pir.Spir.max_domain_bits});
+    every shard answers every query (selection vector up, u32-per-row
+    answer down), and a request is one multiply-accumulate pass modeled
+    as the measured XOR scan slowed by [single_slowdown] (default 8;
+    {!Fleet_sim} seeds it from the measured SPIR/XOR ratio). [Enclave]
+    pays a tree-ORAM path — [2·domain_bits·oram_z] bucket reads at the
+    scan rate — on the one shard holding the index, with fixed-size
+    encrypted communication. *)
+
+val pp_mode_cost : Format.formatter -> mode_cost -> unit
+
 (** {2 Update bandwidth (epoch-versioned storage)} *)
 
 type update_estimate = {

@@ -108,6 +108,10 @@ type result = {
   fleet_hist : Lw_obs.Metrics.hist_snapshot; (* merged per-shard view *)
   tail_model : Latency_model.distribution;
   model : model_line;
+  spir_hint_s : float; (* per-epoch hint over a shard-sized snapshot *)
+  spir_answer_s : float; (* one masked-scan single-server answer *)
+  spir_scan_ratio : float; (* per-byte SPIR mul-acc vs XOR scan *)
+  three_way : Cost_model.mode_cost list; (* seeded from the ratio above *)
 }
 
 let time clock f =
@@ -408,6 +412,50 @@ let run ?(progress = fun (_ : string) -> ()) p =
     Cost_model.estimate ~policy:Cost_model.Storage_driven ~bucket_bytes:p.bucket_size
       ~batch:p.batch_size ds mshard Cost_model.c5_large
   in
+  (* SPIR probe: the same shard data served by the single-server backend.
+     Time the per-epoch hint and one masked-scan answer over a sealed
+     shard-sized snapshot, and turn the answer into a per-byte
+     multiply-accumulate vs XOR-scan slowdown — the measured number that
+     seeds the three-way cost table's Single column. *)
+  let spir_bits = min rem Lw_pir.Spir.max_domain_bits in
+  let spir_snap =
+    let st =
+      Lw_store.create
+        ~hash_key:(p.seed ^ "-spir")
+        ~block_bytes:(8 * p.bucket_size) ~domain_bits:spir_bits ~bucket_size:p.bucket_size ()
+    in
+    let w = Lw_store.writer st in
+    for i = 0 to (1 lsl spir_bits) - 1 do
+      Lw_store.Writer.set w i (Printf.sprintf "spir-probe-%d" i)
+    done;
+    Lw_store.Writer.seal w
+  in
+  let hint_ser, spir_hint_s =
+    time clock (fun () -> Lw_pir.Spir.hint_of_snapshot Lw_pir.Spir.default_params spir_snap)
+  in
+  let spir_hint =
+    match Lw_pir.Spir.decode_hint hint_ser with
+    | Ok h -> h
+    | Error e -> failwith ("fleet-sim: SPIR hint failed to decode: " ^ e)
+  in
+  (* lw-lint: allow taint lines=5 *)
+  let _secret, spir_query =
+    Lw_pir.Spir.Client.query spir_hint ~domain_bits:spir_bits ~index:shard0_alpha drbg
+  in
+  let spir_answer_s =
+    median3 clock (fun () -> ignore (Lw_pir.Spir.answer spir_snap spir_query))
+  in
+  let spir_scan_ratio =
+    let spir_bytes = float_of_int ((1 lsl spir_bits) * p.bucket_size) in
+    let xor_per_byte = Float.max 1e-12 (scan_seconds /. per_shard_bytes) in
+    spir_answer_s /. spir_bytes /. xor_per_byte
+  in
+  let three_way =
+    Cost_model.three_way ~policy:Cost_model.Storage_driven ~bucket_bytes:p.bucket_size
+      ~batch:p.batch_size
+      ~single_slowdown:(Float.max 1. spir_scan_ratio)
+      ds mshard Cost_model.c5_large
+  in
   let model =
     {
       model_shards = est.Cost_model.shards;
@@ -440,4 +488,8 @@ let run ?(progress = fun (_ : string) -> ()) p =
     fleet_hist;
     tail_model;
     model;
+    spir_hint_s;
+    spir_answer_s;
+    spir_scan_ratio;
+    three_way;
   }

@@ -95,6 +95,15 @@ type result = {
           {!Lw_obs.Metrics.merge_into} *)
   tail_model : Latency_model.distribution;
   model : model_line;
+  spir_hint_s : float;
+      (** per-epoch {!Lw_pir.Spir} hint over a sealed shard-sized snapshot *)
+  spir_answer_s : float;  (** one masked-scan single-server answer *)
+  spir_scan_ratio : float;
+      (** per-byte SPIR multiply-accumulate vs XOR-scan slowdown — the
+          measured number that seeds the three-way table's Single column *)
+  three_way : Cost_model.mode_cost list;
+      (** {!Cost_model.three_way} at the fleet geometry, [single_slowdown]
+          seeded from [spir_scan_ratio] *)
 }
 
 val run : ?progress:(string -> unit) -> params -> result

@@ -383,6 +383,30 @@ let test_taint_dpf_source_to_index () =
   Alcotest.(check bool) "dpf key indexing caught" true
     (count_rule "taint" (findings_for ~path:"lib/pir/fixture.ml" dirty) >= 1)
 
+let test_taint_spir_secret_source () =
+  (* the single-server PIR client secret (and the masked query derived
+     from it) is secret by construction: branching on it leaks; no
+     pragma needed *)
+  let dirty =
+    "let f hint rng =\n\
+    \  let secret, query = Lw_pir.Spir.Client.query hint ~domain_bits:4 ~index:1 rng in\n\
+    \  ignore secret;\n\
+    \  if query = \"\" then 0 else 1\n"
+  in
+  Alcotest.(check bool) "spir query branch caught" true
+    (count_rule "taint" (findings_for ~path:"lib/core/fixture.ml" dirty) >= 1);
+  (* recovery is the declassification boundary: its output is the page
+     the caller asked for, and may steer control flow *)
+  let clean =
+    "let f hint rng answer =\n\
+    \  let secret, _query = Lw_pir.Spir.Client.query hint ~domain_bits:4 ~index:1 rng in\n\
+    \  match Lw_pir.Spir.Client.recover hint secret answer with\n\
+    \  | Ok page -> page\n\
+    \  | Error e -> e\n"
+  in
+  Alcotest.(check int) "recovered page clean" 0
+    (count_rule "taint" (findings_for ~path:"lib/core/fixture.ml" clean))
+
 let test_taint_loop_carried_ref () =
   (* taint assigned to a ref late in a loop body must reach a use
      earlier in the next iteration — the dpf-gen shape *)
@@ -714,6 +738,12 @@ let test_trace_snapshot_scan () =
     (Trace_check.check_snapshot_scan ~domain_bits:7 ~bucket_size:48
        ~alphas:[ 0; 99; 127 ] ())
 
+let test_trace_spir_scan () =
+  check_ok "spir defaults" (Trace_check.check_spir_scan ());
+  check_ok "spir other geometry"
+    (Trace_check.check_spir_scan ~domain_bits:7 ~bucket_size:48
+       ~indices:[ 0; 99; 127 ] ())
+
 let test_trace_partitioned_scan () =
   check_ok "partitioned defaults" (Trace_check.check_partitioned_scan ());
   (* partitions that don't divide the domain evenly still walk in order
@@ -773,6 +803,8 @@ let () =
       ( "analyses",
         [
           Alcotest.test_case "taint through helper" `Quick test_taint_through_helper;
+          Alcotest.test_case "taint from SPIR secret source" `Quick
+            test_taint_spir_secret_source;
           Alcotest.test_case "taint from DPF source" `Quick
             test_taint_dpf_source_to_index;
           Alcotest.test_case "taint across loop iterations" `Quick
@@ -800,6 +832,7 @@ let () =
           Alcotest.test_case "bucket scan traces" `Quick test_trace_bucket_scan;
           Alcotest.test_case "batch scan traces" `Quick test_trace_batch_scan;
           Alcotest.test_case "CoW snapshot scan traces" `Quick test_trace_snapshot_scan;
+          Alcotest.test_case "SPIR scan traces" `Quick test_trace_spir_scan;
           Alcotest.test_case "partitioned scan traces" `Quick
             test_trace_partitioned_scan;
           Alcotest.test_case "retry wire shape" `Quick test_trace_retry;

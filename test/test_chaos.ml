@@ -54,7 +54,7 @@ let make_world ?(replicas_per_role = 2) ~sched () =
   let servers =
     Array.map
       (Array.map (fun fe ->
-           Zltp_server.create ~blob_size:bucket_size (Zltp_server.Pir_sharded fe)))
+           Zltp_server.create ~blob_size:bucket_size (Zltp_backend.sharded fe)))
       frontends
   in
   let dials = Array.make_matrix 2 replicas_per_role 0 in
@@ -328,7 +328,7 @@ let make_versioned_world ~keep ~behind () =
         Array.init 2 (fun i ->
             let epochs = if List.mem (role, i) behind then 1 else 2 in
             Zltp_server.create ~blob_size:bucket_size
-              (Zltp_server.Pir_versioned (make_engine ~keep ~epochs))))
+              (Zltp_backend.versioned (make_engine ~keep ~epochs))))
   in
   let mk role i =
     Zltp_client.replica

@@ -162,7 +162,7 @@ let test_insert_overwrites_in_place () =
 (* ---------------- wire v4 ---------------- *)
 
 let test_wire_v4_roundtrip () =
-  Alcotest.(check int) "protocol version" 4 Wire.protocol_version;
+  Alcotest.(check int) "protocol version" 5 Wire.protocol_version;
   let q = Wire.Keyword_query { qid = 42; epoch = 7; dpf_key0 = "KEY-ZERO\x00\xff"; dpf_key1 = "key-one" } in
   (match Wire.decode_client (Wire.encode_client q) with
   | Ok (Wire.Keyword_query { qid; epoch; dpf_key0; dpf_key1 }) ->

@@ -102,10 +102,17 @@ let test_mode_negotiation () =
   Alcotest.(check bool) "pir wins" true
     (Zltp_mode.negotiate ~client:[ Zltp_mode.Pir2; Zltp_mode.Enclave ] ~server:[ Zltp_mode.Pir2 ]
     = Some Zltp_mode.Pir2);
-  Alcotest.(check bool) "client pref order" true
+  Alcotest.(check bool) "strongest assumption last" true
+    (* ranked negotiation: Pir2 (collusion assumption) outranks Enclave
+       (hardware trust) regardless of list order *)
     (Zltp_mode.negotiate ~client:[ Zltp_mode.Enclave; Zltp_mode.Pir2 ]
        ~server:[ Zltp_mode.Pir2; Zltp_mode.Enclave ]
-    = Some Zltp_mode.Enclave);
+    = Some Zltp_mode.Pir2);
+  Alcotest.(check bool) "single weakest" true
+    (Zltp_mode.negotiate
+       ~client:[ Zltp_mode.Enclave; Zltp_mode.Single; Zltp_mode.Pir2 ]
+       ~server:Zltp_mode.all
+    = Some Zltp_mode.Single);
   Alcotest.(check bool) "no overlap" true
     (Zltp_mode.negotiate ~client:[ Zltp_mode.Enclave ] ~server:[ Zltp_mode.Pir2 ] = None)
 

@@ -423,11 +423,11 @@ let connect_versioned st seed =
   (* both logical servers wrap the same engine, like Universe does *)
   let s0 =
     Zltp_server.create ~server_id:"a" ~blob_size:visit_bucket_size
-      (Zltp_server.Pir_versioned st)
+      (Zltp_backend.versioned st)
   in
   let s1 =
     Zltp_server.create ~server_id:"b" ~blob_size:visit_bucket_size
-      (Zltp_server.Pir_versioned st)
+      (Zltp_backend.versioned st)
   in
   Zltp_client.connect
     ~rng:(Lw_crypto.Drbg.create ~seed)
